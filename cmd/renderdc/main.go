@@ -1,0 +1,61 @@
+// Command renderdc renders a scene's depth-complexity map (the per-pixel
+// overdraw the paper's Figure 9 images visualize) to a PGM file, bright
+// where overdraw is high.
+//
+// Usage:
+//
+//	renderdc -scene room3 -scale 0.5 -o room3.pgm
+//	renderdc -trace frame.trace -o frame.pgm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/texsim"
+)
+
+func main() {
+	var (
+		sceneName = flag.String("scene", "", "paper benchmark to render")
+		tracePath = flag.String("trace", "", "trace file to render")
+		scale     = flag.Float64("scale", 1.0, "benchmark resolution scale")
+		out       = flag.String("o", "", "output PGM file (required)")
+	)
+	flag.Parse()
+	if *out == "" || (*sceneName == "") == (*tracePath == "") {
+		fmt.Fprintln(os.Stderr, "renderdc: pass exactly one of -scene/-trace, and -o out.pgm")
+		os.Exit(2)
+	}
+
+	var (
+		sc  *texsim.Scene
+		err error
+	)
+	if *sceneName != "" {
+		var b texsim.BenchmarkInfo
+		b, err = texsim.LookupBenchmark(*sceneName, *scale)
+		if err == nil {
+			sc, err = b.Build()
+		}
+	} else {
+		var f *os.File
+		f, err = os.Open(*tracePath)
+		if err == nil {
+			sc, err = texsim.ReadTrace(f)
+			f.Close()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "renderdc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := experiments.WriteDepthPGM(*out, sc); err != nil {
+		fmt.Fprintf(os.Stderr, "renderdc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", *out, sc.Screen.Width(), sc.Screen.Height())
+}

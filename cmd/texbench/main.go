@@ -1,0 +1,81 @@
+// Command texbench regenerates the paper's tables and figures. Each
+// experiment sweeps the machine configurations the paper sweeps on the
+// synthesized benchmark scenes and prints the corresponding rows/series.
+//
+// Usage:
+//
+//	texbench -list
+//	texbench -exp fig7 [-scale 0.5] [-par 8] [-out out/]
+//	texbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale  = flag.Float64("scale", 0.5, "scene resolution scale (1 = paper's full frames)")
+		par    = flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
+		out    = flag.String("out", "out", "output directory for image-producing experiments")
+		format = flag.String("format", "text", "output format: text, csv or json")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-15s %s\n", e.ID, e.Title)
+		}
+		if !*list {
+			fmt.Println("\nrun one with: texbench -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := experiments.Options{Scale: *scale, Parallelism: *par, OutDir: *out}
+	var toRun []experiments.Experiment
+	if *expID == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "texbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		report, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "texbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			report.Format(os.Stdout)
+			fmt.Printf("\n[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		case "csv":
+			err = report.WriteCSV(os.Stdout)
+		case "json":
+			err = report.WriteJSON(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "texbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "texbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command tracegen synthesizes a benchmark scene (or a custom one) and
+// writes it as a binary triangle trace, the equivalent of the
+// Mesa-instrumented traces the paper's simulations consumed.
+//
+// Usage:
+//
+//	tracegen -scene truc640 -scale 0.5 -o truc640.trace
+//	tracegen -custom -width 640 -height 480 -triangles 5000 -dc 3 \
+//	         -textures 100 -texsize 64 -density 0.8 -seed 7 -o custom.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/texsim"
+)
+
+func main() {
+	var (
+		sceneName = flag.String("scene", "", "paper benchmark to synthesize (see -list)")
+		scale     = flag.Float64("scale", 1.0, "resolution scale")
+		out       = flag.String("o", "", "output trace file (required)")
+		list      = flag.Bool("list", false, "list benchmark scenes and exit")
+
+		custom    = flag.Bool("custom", false, "generate a custom scene instead of a benchmark")
+		width     = flag.Int("width", 640, "custom: screen width")
+		height    = flag.Int("height", 480, "custom: screen height")
+		triangles = flag.Int("triangles", 5000, "custom: triangle count")
+		dc        = flag.Float64("dc", 3, "custom: depth complexity")
+		textures  = flag.Int("textures", 64, "custom: texture count")
+		texsize   = flag.Int("texsize", 64, "custom: mean texture size (power of two)")
+		density   = flag.Float64("density", 1, "custom: texels per pixel")
+		fresh     = flag.Float64("fresh", 0.8, "custom: fresh-texture-region fraction")
+		hotspots  = flag.Int("hotspots", 4, "custom: overdraw hot spots")
+		hotshare  = flag.Float64("hotshare", 0.3, "custom: fragment share inside hot spots")
+		seed      = flag.Int64("seed", 1, "custom: generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range texsim.BenchmarkNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -o output file is required")
+		os.Exit(2)
+	}
+
+	var (
+		sc  *texsim.Scene
+		err error
+	)
+	switch {
+	case *custom:
+		sc, err = texsim.GenerateScene(texsim.SceneParams{
+			Name: "custom", Width: *width, Height: *height,
+			Triangles: *triangles, DepthComplexity: *dc,
+			Textures: *textures, TexSize: *texsize,
+			TexelDensity: *density, FreshFraction: *fresh,
+			HotSpots: *hotspots, HotSpotShare: *hotshare,
+			Seed: *seed, Scale: *scale,
+		})
+	case *sceneName != "":
+		var b texsim.BenchmarkInfo
+		b, err = texsim.LookupBenchmark(*sceneName, *scale)
+		if err == nil {
+			sc, err = b.Build()
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: pass -scene <name> or -custom (use -list for names)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := texsim.WriteTrace(f, sc); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d triangles, %d textures, %dx%d\n",
+		*out, len(sc.Triangles), len(sc.Textures), sc.Screen.Width(), sc.Screen.Height())
+}

@@ -1,0 +1,74 @@
+// Command traceinfo prints Table 1-style characteristics of triangle
+// traces: screen size, pixels rendered, depth complexity, triangle and
+// texture counts, texture footprint, and the unique texel-to-fragment
+// ratio.
+//
+// Usage:
+//
+//	traceinfo file.trace [more.trace ...]
+//	traceinfo -scene quake -scale 0.5     # measure a synthesized benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/texsim"
+)
+
+func main() {
+	var (
+		sceneName = flag.String("scene", "", "measure a synthesized benchmark instead of trace files")
+		scale     = flag.Float64("scale", 1.0, "benchmark resolution scale")
+	)
+	flag.Parse()
+
+	var scenes []*texsim.Scene
+	if *sceneName != "" {
+		b, err := texsim.LookupBenchmark(*sceneName, *scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		sc, err := b.Build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		scenes = append(scenes, sc)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		sc, err := texsim.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		scenes = append(scenes, sc)
+	}
+	if len(scenes) == 0 {
+		fmt.Fprintln(os.Stderr, "traceinfo: pass trace files or -scene <name>")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-20s %-10s %9s %7s %9s %9s %9s %8s\n",
+		"scene", "screen", "Mpixels", "depth", "triangles", "textures", "tex MB", "uniq t/f")
+	for _, sc := range scenes {
+		st, err := texsim.Measure(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-20s %-10s %9.2f %7.2f %9d %9d %9.1f %8.3f\n",
+			st.Name, fmt.Sprintf("%dx%d", st.ScreenW, st.ScreenH),
+			float64(st.PixelsRendered)/1e6, st.DepthComplexity,
+			st.Triangles, st.Textures, float64(st.TextureBytes)/1e6,
+			st.UniqueTexelFrag)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "The Best Distribution for a Parallel OpenGL 3D
+// Engine with Texture Caches" (Vartanian, Béchennec, Drach-Temam — HPCA
+// 2000): a cycle-level simulation study of sort-middle parallel texture
+// mapping with per-node texture caches, comparing square-block and
+// scan-line-interleaved screen distributions.
+//
+// The public API lives in repro/texsim; the experiment harness regenerating
+// every table and figure is repro/internal/experiments, driven by
+// cmd/texbench. See README.md for the layout and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate one
+// table or figure each.
+package repro

@@ -1,0 +1,78 @@
+// buffer-sizing reproduces the paper's §8 design question: how deep must
+// the triangle FIFO in front of each texture-mapping engine be? It sweeps
+// the buffer depth on a 64-processor block machine and prints the speedup
+// and the peak FIFO occupancy actually reached, with and without a real
+// texture cache — showing that the cache makes buffering matter more.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/texsim"
+)
+
+func main() {
+	sceneName := flag.String("scene", "truc640", "benchmark scene")
+	scale := flag.Float64("scale", 0.5, "resolution scale")
+	procs := flag.Int("procs", 64, "processors")
+	width := flag.Int("width", 16, "block width")
+	flag.Parse()
+
+	sc := texsim.Benchmark(*sceneName, *scale)
+	buffers := []int{1, 5, 10, 20, 50, 100, 500, 10000}
+
+	variants := []struct {
+		name  string
+		cache texsim.Config
+	}{
+		{"perfect cache", texsim.Config{CacheKind: texsim.CachePerfect}},
+		{"16KB cache + 2x bus", texsim.Config{
+			CacheKind: texsim.CacheReal,
+			Bus:       texsim.BusConfig{TexelsPerCycle: 2},
+		}},
+	}
+
+	fmt.Printf("scene %s, %d processors, block width %d\n\n", sc.Name, *procs, *width)
+	for _, v := range variants {
+		baseCfg := v.cache
+		baseCfg.Procs = 1
+		base, err := texsim.Simulate(sc, baseCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type row struct {
+			buffer, peak int
+			speedup      float64
+		}
+		rows := make([]row, len(buffers))
+		for i, buf := range buffers {
+			cfg := v.cache
+			cfg.Procs = *procs
+			cfg.Distribution = texsim.Block
+			cfg.TileSize = *width
+			cfg.TriangleBuffer = buf
+			res, err := texsim.Simulate(sc, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			peak := 0
+			for _, n := range res.Nodes {
+				if n.FIFOPeak > peak {
+					peak = n.FIFOPeak
+				}
+			}
+			rows[i] = row{buf, peak, base.Cycles / res.Cycles}
+		}
+		ideal := rows[len(rows)-1].speedup
+
+		fmt.Printf("--- %s ---\n", v.name)
+		fmt.Printf("%8s  %8s  %9s  %s\n", "buffer", "speedup", "FIFO peak", "of ideal")
+		for _, r := range rows {
+			fmt.Printf("%8d  %8.1f  %9d  %5.1f%%\n", r.buffer, r.speedup, r.peak, 100*r.speedup/ideal)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate one of the paper's benchmark frames on a 16-processor
+// sort-middle machine with 16 KB texture caches and a 1 texel/pixel bus, and
+// print the numbers the paper's evaluation revolves around.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/texsim"
+)
+
+func main() {
+	// Synthesize the paper's truc640 Half-Life frame at half resolution
+	// (scale 1 = the full 1600x1200 frame).
+	sc := texsim.Benchmark("truc640", 0.5)
+
+	cfg := texsim.Config{
+		Procs:        16,
+		Distribution: texsim.Block, // square tiles, interleaved
+		TileSize:     16,           // the paper's sweet-spot width
+		CacheKind:    texsim.CacheReal,
+		Bus:          texsim.BusConfig{TexelsPerCycle: 1},
+	}
+
+	speedup, single, parallel, err := texsim.Speedup(sc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scene %s: %d triangles, %d fragments\n",
+		sc.Name, len(sc.Triangles), parallel.Fragments)
+	fmt.Printf("1 processor:   %.0f cycles\n", single.Cycles)
+	fmt.Printf("%d processors: %.0f cycles → speedup %.1fx\n",
+		cfg.Procs, parallel.Cycles, speedup)
+	fmt.Printf("texel-to-fragment ratio: %.2f (single: %.2f)\n",
+		parallel.TexelToFragment(), single.TexelToFragment())
+	fmt.Printf("pixel load imbalance: %.1f%%\n", parallel.PixelImbalance()*100)
+
+	// Per-node view: who was the bottleneck?
+	worst := 0
+	for i, n := range parallel.Nodes {
+		if n.FinishTime > parallel.Nodes[worst].FinishTime {
+			worst = i
+		}
+	}
+	n := parallel.Nodes[worst]
+	fmt.Printf("slowest node %d: %d fragments, %.0f stall cycles, %.1f%% cache miss rate\n",
+		worst, n.Fragments, n.StallCycles, n.Cache.MissRate()*100)
+}

@@ -1,0 +1,150 @@
+package repro
+
+// End-to-end integration tests across the whole stack: scene synthesis →
+// trace serialization → machine simulation → invariants, driven through the
+// public texsim API exactly as a downstream user would.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/texsim"
+)
+
+// TestPipelineEndToEnd exercises generate → save → load → simulate →
+// cross-check on one benchmark scene.
+func TestPipelineEndToEnd(t *testing.T) {
+	sc := texsim.Benchmark("truc640", 0.25)
+
+	var buf bytes.Buffer
+	if err := texsim.WriteTrace(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := texsim.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := texsim.Measure(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := texsim.Simulate(loaded, texsim.Config{
+		Procs: 16, Distribution: texsim.Block, TileSize: 16,
+		CacheKind: texsim.CacheReal, Bus: texsim.BusConfig{TexelsPerCycle: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The machine must draw exactly what the analyzer counted. (The trace
+	// stores float32 vertex coordinates, so this also pins down that the
+	// serialization round trip does not perturb rasterization: Measure ran
+	// on the loaded scene.)
+	if res.Fragments != st.PixelsRendered {
+		t.Errorf("machine drew %d fragments, analyzer counted %d",
+			res.Fragments, st.PixelsRendered)
+	}
+	if res.Cycles <= 0 || res.TexelToFragment() <= 0 {
+		t.Errorf("degenerate result: %v cycles, ratio %v", res.Cycles, res.TexelToFragment())
+	}
+}
+
+// TestFragmentConservationProperty: for random small scenes and random
+// machine configurations, every distribution (and both alternative
+// architectures) draws exactly the same fragments — work is partitioned,
+// never lost or duplicated — and completion time is bounded below by the
+// busiest node's work.
+func TestFragmentConservationProperty(t *testing.T) {
+	f := func(seed int64, procs8, size6, kind2 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sc, err := texsim.GenerateScene(texsim.SceneParams{
+			Name: "prop", Width: 200, Height: 150,
+			Triangles:       100 + rng.Intn(200),
+			DepthComplexity: 1 + 3*rng.Float64(),
+			Textures:        1 + rng.Intn(20),
+			TexSize:         32,
+			TexelDensity:    0.3 + rng.Float64(),
+			FreshFraction:   rng.Float64(),
+			HotSpots:        rng.Intn(3),
+			HotSpotShare:    0.4 * rng.Float64(),
+			Seed:            seed,
+		})
+		if err != nil {
+			return false
+		}
+		procs := int(procs8%16) + 1
+		size := 1 << (size6 % 6) // 1..32
+		kind := texsim.Block
+		if kind2%2 == 1 {
+			kind = texsim.SLI
+		}
+
+		ref, err := texsim.Simulate(sc, texsim.Config{Procs: 1, CacheKind: texsim.CachePerfect})
+		if err != nil {
+			return false
+		}
+		cfg := texsim.Config{Procs: procs, Distribution: kind, TileSize: size,
+			CacheKind: texsim.CachePerfect}
+		res, err := texsim.Simulate(sc, cfg)
+		if err != nil || res.Fragments != ref.Fragments {
+			return false
+		}
+		var maxBusy float64
+		for _, n := range res.Nodes {
+			if n.BusyCycles > maxBusy {
+				maxBusy = n.BusyCycles
+			}
+		}
+		if res.Cycles+1e-9 < maxBusy {
+			return false
+		}
+		// The two alternative architectures conserve fragments too.
+		if kind == texsim.Block {
+			dyn, err := texsim.SimulateDynamic(sc, cfg, texsim.DynamicLPT)
+			if err != nil || dyn.Fragments != ref.Fragments {
+				return false
+			}
+		}
+		last, err := texsim.SimulateSortLast(sc, cfg, texsim.SortLastChunked)
+		if err != nil || last.Fragments != ref.Fragments {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpeedupNeverExceedsProcs: parallel hardware cannot beat N× on any
+// configuration (the distributor and composition are ideal but add no work).
+func TestSpeedupNeverExceedsProcs(t *testing.T) {
+	sc := texsim.Benchmark("blowout775", 0.2)
+	for _, procs := range []int{2, 8, 32} {
+		for _, kind := range []struct {
+			d    texsim.Config
+			name string
+		}{
+			{texsim.Config{Distribution: texsim.Block, TileSize: 8}, "block8"},
+			{texsim.Config{Distribution: texsim.SLI, TileSize: 2}, "sli2"},
+			{texsim.Config{Distribution: texsim.BlockSkewed, TileSize: 8}, "skew8"},
+		} {
+			cfg := kind.d
+			cfg.Procs = procs
+			cfg.CacheKind = texsim.CachePerfect
+			sp, _, _, err := texsim.Speedup(sc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp > float64(procs)*1.001 {
+				t.Errorf("%s/p%d: speedup %v exceeds processor count", kind.name, procs, sp)
+			}
+		}
+	}
+}

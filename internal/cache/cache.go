@@ -1,0 +1,199 @@
+// Package cache simulates the on-chip texture cache of one node. The paper
+// uses the Hakura–Gupta configuration unchanged: 16 KB, 4-way set
+// associative, 64-byte lines holding a 4×4 texel block, LRU replacement.
+//
+// The cache is modelled functionally (hit or miss per access); timing is the
+// memory bus's job. A perfect-cache model (always hits — the paper's
+// "perfect cache" that ignores even compulsory misses) and a cacheless model
+// are provided for the load-balancing-only experiments and the ratio-8
+// baseline respectively.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/texture"
+)
+
+// Stats accumulates access counts for one cache.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses (0 for an idle cache).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Model is the cache contract the engine drives: one call per texel access,
+// returning whether the texel was already resident. A miss implies the
+// containing line is fetched (and inserted, for a real cache).
+type Model interface {
+	// Access looks up the texel at byte address addr, updating replacement
+	// state, and reports a hit.
+	Access(addr texture.Addr) bool
+	// Stats returns the accumulated counters.
+	Stats() Stats
+	// Reset clears contents and counters.
+	Reset()
+}
+
+// Config describes a set-associative cache.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size (must match the texture blocking: 64)
+}
+
+// PaperConfig is the 16 KB 4-way 64 B-line configuration used throughout the
+// paper's evaluation.
+func PaperConfig() Config {
+	return Config{SizeBytes: 16 * 1024, Ways: 4, LineBytes: texture.LineBytes}
+}
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of line %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / c.LineBytes / c.Ways }
+
+// SetAssoc is an LRU set-associative cache. Each set keeps its lines ordered
+// most-recently-used first, so a lookup is a short scan and a hit is a small
+// rotate — fast enough for the hundreds of millions of accesses a full-frame
+// simulation performs.
+type SetAssoc struct {
+	cfg      Config
+	ways     int
+	setMask  uint32
+	lineBits uint
+	// tags[set*ways : (set+1)*ways], MRU first. The sentinel invalidTag marks
+	// an empty way.
+	tags  []uint32
+	stats Stats
+}
+
+const invalidTag = ^uint32(0)
+
+// New returns an empty set-associative cache for cfg. It panics on an
+// invalid configuration; callers validate user-supplied configs first.
+func New(cfg Config) *SetAssoc {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	c := &SetAssoc{
+		cfg:      cfg,
+		ways:     cfg.Ways,
+		setMask:  uint32(cfg.Sets() - 1),
+		lineBits: lineBits,
+		tags:     make([]uint32, cfg.Sets()*cfg.Ways),
+	}
+	c.Reset()
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *SetAssoc) Config() Config { return c.cfg }
+
+// Access implements Model.
+func (c *SetAssoc) Access(addr texture.Addr) bool {
+	c.stats.Accesses++
+	line := uint32(addr) >> c.lineBits
+	set := line & c.setMask
+	base := int(set) * c.ways
+	ways := c.tags[base : base+c.ways]
+	if ways[0] == line { // fast path: repeated texel
+		return true
+	}
+	for i := 1; i < len(ways); i++ {
+		if ways[i] == line {
+			// Hit: rotate to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	// Miss: evict LRU (last), insert at MRU.
+	c.stats.Misses++
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = line
+	return false
+}
+
+// Stats implements Model.
+func (c *SetAssoc) Stats() Stats { return c.stats }
+
+// Reset implements Model.
+func (c *SetAssoc) Reset() {
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	c.stats = Stats{}
+}
+
+// Perfect is the paper's "perfect cache": every access hits, including the
+// first touch of a line (compulsory misses are ignored too). Used to isolate
+// load balancing from texture locality.
+type Perfect struct {
+	stats Stats
+}
+
+// NewPerfect returns a perfect cache.
+func NewPerfect() *Perfect { return &Perfect{} }
+
+// Access implements Model: always a hit.
+func (c *Perfect) Access(texture.Addr) bool {
+	c.stats.Accesses++
+	return true
+}
+
+// Stats implements Model.
+func (c *Perfect) Stats() Stats { return c.stats }
+
+// Reset implements Model.
+func (c *Perfect) Reset() { c.stats = Stats{} }
+
+// None is a cacheless node: every access misses, giving the 8-texels-per-
+// fragment external bandwidth of the paper's "machine without a cache".
+type None struct {
+	stats Stats
+}
+
+// NewNone returns a cacheless model.
+func NewNone() *None { return &None{} }
+
+// Access implements Model: always a miss.
+func (c *None) Access(texture.Addr) bool {
+	c.stats.Accesses++
+	c.stats.Misses++
+	return false
+}
+
+// Stats implements Model.
+func (c *None) Stats() Stats { return c.stats }
+
+// Reset implements Model.
+func (c *None) Reset() { c.stats = Stats{} }

@@ -1,0 +1,568 @@
+// Package core implements the paper's parallel sort-middle texture-mapping
+// machine: N commodity-accelerator nodes, each with a private texture cache
+// and texture memory, fed triangles in strict OpenGL order by an ideal
+// geometry stage through bounded per-node triangle FIFOs.
+//
+// The screen is statically partitioned by a distrib.Distribution (square
+// blocks or SLI, interleaved). Each triangle is rasterized once and its
+// fragments demultiplexed to the owning nodes; a node whose tiles intersect
+// the triangle's bounding box receives the triangle even if it ends up
+// owning no fragment, and pays at least the triangle setup cost — the
+// small-triangle overhead of the paper's section 2.3.
+//
+// The simulation is event-driven on the sim kernel: one event per
+// (triangle, node), with the node-internal pixel pipeline timed by
+// internal/engine. The distributor back-pressures on full FIFOs, which is
+// what couples nodes together and makes the triangle-buffer-size experiment
+// (paper §8) meaningful.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/distrib"
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/raster"
+	"repro/internal/sim"
+	"repro/internal/texture"
+	"repro/internal/trace"
+)
+
+// CacheKind selects the per-node texture cache model.
+type CacheKind int
+
+const (
+	// CacheReal is a set-associative cache (paper default: 16 KB 4-way).
+	CacheReal CacheKind = iota
+	// CachePerfect always hits; the paper's perfect cache for isolating
+	// load balancing.
+	CachePerfect
+	// CacheNone always misses (line-granularity traffic).
+	CacheNone
+)
+
+// String returns a short identifier for the cache kind.
+func (k CacheKind) String() string {
+	switch k {
+	case CacheReal:
+		return "real"
+	case CachePerfect:
+		return "perfect"
+	case CacheNone:
+		return "none"
+	default:
+		return fmt.Sprintf("CacheKind(%d)", int(k))
+	}
+}
+
+// DefaultTriangleBuffer is the "big enough" triangle FIFO the paper assumes
+// everywhere except its buffering study (§8).
+const DefaultTriangleBuffer = 10000
+
+// Config describes one machine configuration.
+type Config struct {
+	// Procs is the number of texture-mapping nodes.
+	Procs int
+	// Distribution selects block or SLI screen partitioning.
+	Distribution distrib.Kind
+	// TileSize is the block width in pixels (block) or the number of
+	// adjacent lines per group (SLI).
+	TileSize int
+	// CacheKind selects the per-node cache model; CacheConfig applies only
+	// to CacheReal and defaults to the paper's 16 KB 4-way when zero.
+	CacheKind   CacheKind
+	CacheConfig cache.Config
+	// Bus is the per-node texture bus; zero TexelsPerCycle means infinite.
+	Bus memory.BusConfig
+	// TriangleBuffer is the per-node triangle FIFO depth; 0 means
+	// DefaultTriangleBuffer.
+	TriangleBuffer int
+	// SetupCycles is the triangle setup cost; 0 means the paper's 25.
+	SetupCycles int
+	// PrefetchDepth is the fragment-FIFO depth hiding memory latency; 0
+	// means engine.DefaultPrefetchDepth.
+	PrefetchDepth int
+
+	// L2Config, when non-zero, adds a second-level texture cache per node
+	// (the graphics-card memory, per the paper's §9 future work and Cox's
+	// multi-level caching study). MainBus is then the bandwidth from main
+	// memory into the L2 (zero TexelsPerCycle = infinite).
+	L2Config cache.Config
+	MainBus  memory.BusConfig
+}
+
+// withDefaults returns cfg with zero fields replaced by paper defaults.
+func (c Config) withDefaults() Config {
+	if c.TileSize == 0 {
+		c.TileSize = 16
+	}
+	if c.CacheKind == CacheReal && c.CacheConfig == (cache.Config{}) {
+		c.CacheConfig = cache.PaperConfig()
+	}
+	if c.TriangleBuffer == 0 {
+		c.TriangleBuffer = DefaultTriangleBuffer
+	}
+	if c.SetupCycles == 0 {
+		c.SetupCycles = engine.DefaultSetupCycles
+	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = engine.DefaultPrefetchDepth
+	}
+	return c
+}
+
+// Validate rejects impossible configurations (after defaulting).
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Procs <= 0 {
+		return fmt.Errorf("core: processor count %d must be positive", c.Procs)
+	}
+	if c.TileSize <= 0 {
+		return fmt.Errorf("core: tile size %d must be positive", c.TileSize)
+	}
+	if c.TriangleBuffer <= 0 {
+		return fmt.Errorf("core: triangle buffer %d must be positive", c.TriangleBuffer)
+	}
+	if c.CacheKind == CacheReal {
+		if err := c.CacheConfig.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.HasL2() {
+		if err := c.L2Config.Validate(); err != nil {
+			return err
+		}
+		if err := c.MainBus.Validate(); err != nil {
+			return err
+		}
+	}
+	return c.Bus.Validate()
+}
+
+// HasL2 reports whether the configuration includes a second-level cache.
+func (c Config) HasL2() bool { return c.L2Config != (cache.Config{}) }
+
+// Name returns a compact identifier like "block16/p64".
+func (c Config) Name() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%s%d/p%d", c.Distribution, c.TileSize, c.Procs)
+}
+
+// NodeResult reports one node's counters after a run (for frame sequences,
+// the counters are per frame).
+type NodeResult struct {
+	Fragments   uint64
+	Triangles   uint64
+	SetupBound  uint64
+	StallCycles float64
+	BusyCycles  float64
+	FinishTime  float64
+	Cache       cache.Stats
+	Bus         memory.BusStats
+	L2          cache.Stats     // zero without an L2
+	MainBus     memory.BusStats // zero without an L2
+	FIFOPeak    int
+}
+
+// sub returns the per-frame delta between two cumulative snapshots.
+func (n NodeResult) sub(prev NodeResult) NodeResult {
+	return NodeResult{
+		Fragments:   n.Fragments - prev.Fragments,
+		Triangles:   n.Triangles - prev.Triangles,
+		SetupBound:  n.SetupBound - prev.SetupBound,
+		StallCycles: n.StallCycles - prev.StallCycles,
+		BusyCycles:  n.BusyCycles - prev.BusyCycles,
+		FinishTime:  n.FinishTime,
+		Cache: cache.Stats{Accesses: n.Cache.Accesses - prev.Cache.Accesses,
+			Misses: n.Cache.Misses - prev.Cache.Misses},
+		Bus: memory.BusStats{LinesFetched: n.Bus.LinesFetched - prev.Bus.LinesFetched,
+			BusyCycles: n.Bus.BusyCycles - prev.Bus.BusyCycles},
+		L2: cache.Stats{Accesses: n.L2.Accesses - prev.L2.Accesses,
+			Misses: n.L2.Misses - prev.L2.Misses},
+		MainBus: memory.BusStats{LinesFetched: n.MainBus.LinesFetched - prev.MainBus.LinesFetched,
+			BusyCycles: n.MainBus.BusyCycles - prev.MainBus.BusyCycles},
+		FIFOPeak: n.FIFOPeak,
+	}
+}
+
+// Result is the outcome of simulating one scene on one configuration.
+type Result struct {
+	Config Config
+	Scene  string
+	// Cycles is the machine completion time: when the slowest node finishes.
+	Cycles float64
+	// Fragments is the total pixels drawn across nodes.
+	Fragments uint64
+	// TrianglesRouted counts (triangle, node) deliveries, including
+	// zero-pixel routings.
+	TrianglesRouted uint64
+	Nodes           []NodeResult
+}
+
+// TexelToFragment returns the machine-wide external-bandwidth metric:
+// texels fetched across all nodes per fragment drawn. For a single node this
+// matches the paper's per-engine ratio; for N nodes it is the average demand
+// each private bus must sustain relative to the work done.
+func (r *Result) TexelToFragment() float64 {
+	if r.Fragments == 0 {
+		return 0
+	}
+	var texels uint64
+	for i := range r.Nodes {
+		texels += r.Nodes[i].Bus.TexelsFetched()
+	}
+	return float64(texels) / float64(r.Fragments)
+}
+
+// PixelImbalance returns (busiest − average)/average of per-node fragment
+// counts, the paper's Figure 5 load-balancing metric, as a fraction (0.5 =
+// 50 % imbalance).
+func (r *Result) PixelImbalance() float64 {
+	return imbalance(r.Nodes, func(n *NodeResult) float64 { return float64(n.Fragments) })
+}
+
+// WorkImbalance returns the same metric over pipeline busy cycles, which
+// additionally captures setup overhead and cache stalls.
+func (r *Result) WorkImbalance() float64 {
+	return imbalance(r.Nodes, func(n *NodeResult) float64 { return n.BusyCycles })
+}
+
+func imbalance(nodes []NodeResult, metric func(*NodeResult) float64) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	maxV, sum := 0.0, 0.0
+	for i := range nodes {
+		v := metric(&nodes[i])
+		sum += v
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	avg := sum / float64(len(nodes))
+	return maxV/avg - 1
+}
+
+// Machine is a configured parallel engine ready to render scenes.
+type Machine struct {
+	cfg     Config
+	scene   *trace.Scene
+	dist    distrib.Distribution
+	rast    *raster.Rasterizer
+	mgr     *texture.Manager
+	engines []*engine.Engine
+	// lastFIFOPeaks holds the per-node triangle-FIFO peak occupancy of the
+	// most recent frame.
+	lastFIFOPeaks []int
+}
+
+// NewMachine builds a machine for the scene. The scene's texture table is
+// replicated into every node's private texture memory (the paper's model:
+// each node holds all textures).
+func NewMachine(scene *trace.Scene, cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := scene.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := distrib.New(cfg.Distribution, scene.Screen, cfg.Procs, cfg.TileSize)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := scene.BuildTextures()
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		scene: scene,
+		dist:  d,
+		rast:  raster.New(scene.Screen),
+		mgr:   mgr,
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		var c cache.Model
+		switch cfg.CacheKind {
+		case CachePerfect:
+			c = cache.NewPerfect()
+		case CacheNone:
+			c = cache.NewNone()
+		default:
+			c = cache.New(cfg.CacheConfig)
+		}
+		bus := memory.NewBus(cfg.Bus)
+		e := engine.NewWithPrefetch(i, cfg.SetupCycles, cfg.PrefetchDepth, c, bus)
+		if cfg.HasL2() {
+			e.AttachL2(cache.New(cfg.L2Config), memory.NewBus(cfg.MainBus))
+		}
+		m.engines = append(m.engines, e)
+	}
+	return m, nil
+}
+
+// Run simulates the whole scene and returns the result. Run is
+// deterministic; calling it again re-runs from a cold machine.
+func (m *Machine) Run() *Result {
+	results, err := m.RunSequence([]*trace.Scene{m.scene})
+	if err != nil {
+		// The machine's own scene always passes the sequence checks.
+		panic(err)
+	}
+	return results[0]
+}
+
+// RunSequence simulates consecutive frames that share the machine's texture
+// table, WITHOUT resetting the caches between frames — the inter-frame
+// locality setting of the paper's §9 future-work discussion. Frames are
+// separated by an end-of-frame barrier (buffer swap): every node idles
+// until the slowest finishes before the next frame's triangles flow.
+// Returned results hold per-frame counters and cycles.
+func (m *Machine) RunSequence(frames []*trace.Scene) ([]*Result, error) {
+	for i, f := range frames {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", i, err)
+		}
+		if len(f.Textures) != len(m.scene.Textures) {
+			return nil, fmt.Errorf("core: frame %d has %d textures, machine was built with %d",
+				i, len(f.Textures), len(m.scene.Textures))
+		}
+		for j, ts := range f.Textures {
+			if ts != m.scene.Textures[j] {
+				return nil, fmt.Errorf("core: frame %d texture %d is %v, machine has %v",
+					i, j, ts, m.scene.Textures[j])
+			}
+		}
+	}
+	for _, e := range m.engines {
+		e.Reset()
+	}
+	prev := make([]NodeResult, m.cfg.Procs)
+	frameStart := 0.0
+	var results []*Result
+	for _, f := range frames {
+		m.runFrame(f)
+		res := &Result{Config: m.cfg, Scene: f.Name}
+		frameEnd := frameStart
+		for i, e := range m.engines {
+			cum := m.snapshot(i)
+			nr := cum.sub(prev[i])
+			prev[i] = cum
+			res.Nodes = append(res.Nodes, nr)
+			res.Fragments += nr.Fragments
+			res.TrianglesRouted += nr.Triangles
+			if e.Time() > frameEnd {
+				frameEnd = e.Time()
+			}
+		}
+		res.Cycles = frameEnd - frameStart
+		results = append(results, res)
+		// End-of-frame barrier: all nodes wait for the buffer swap.
+		for _, e := range m.engines {
+			e.AdvanceTo(frameEnd)
+		}
+		frameStart = frameEnd
+	}
+	return results, nil
+}
+
+// runFrame drives the event simulation of one frame's triangle stream.
+func (m *Machine) runFrame(f *trace.Scene) {
+	s := sim.New()
+	d := newDistributor(s, m, f)
+	nodes := make([]*nodeProc, m.cfg.Procs)
+	for i := range nodes {
+		nodes[i] = &nodeProc{sim: s, engine: m.engines[i], fifo: d.fifos[i]}
+	}
+	s.At(0, d.step)
+	for _, n := range nodes {
+		s.At(0, n.step)
+	}
+	s.Run()
+	if !d.done || d.next != len(f.Triangles) {
+		panic(fmt.Sprintf("core: simulation deadlock: distributed %d of %d triangles",
+			d.next, len(f.Triangles)))
+	}
+	m.lastFIFOPeaks = m.lastFIFOPeaks[:0]
+	for _, fifo := range d.fifos {
+		m.lastFIFOPeaks = append(m.lastFIFOPeaks, fifo.Peak)
+	}
+}
+
+// snapshot captures node i's cumulative counters.
+func (m *Machine) snapshot(i int) NodeResult {
+	e := m.engines[i]
+	st := e.Stats()
+	peak := 0
+	if i < len(m.lastFIFOPeaks) {
+		peak = m.lastFIFOPeaks[i]
+	}
+	return NodeResult{
+		Fragments:   st.Fragments,
+		Triangles:   st.Triangles,
+		SetupBound:  st.SetupBound,
+		StallCycles: st.StallCycles,
+		BusyCycles:  st.BusyCycles,
+		FinishTime:  e.Time(),
+		Cache:       e.CacheStats(),
+		Bus:         e.BusStats(),
+		L2:          e.L2Stats(),
+		MainBus:     e.MainBusStats(),
+		FIFOPeak:    peak,
+	}
+}
+
+// Simulate is the one-call convenience: build a machine and run the scene.
+func Simulate(scene *trace.Scene, cfg Config) (*Result, error) {
+	m, err := NewMachine(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(), nil
+}
+
+// Speedup runs the scene on 1 processor and on cfg, returning T1/TN along
+// with both results. The single-processor baseline keeps every other
+// parameter of cfg (cache, bus, buffer) identical, as the paper does.
+func Speedup(scene *trace.Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
+	base := cfg
+	base.Procs = 1
+	single, err = Simulate(scene, base)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	parallel, err = Simulate(scene, cfg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if parallel.Cycles == 0 {
+		return 0, single, parallel, nil
+	}
+	return single.Cycles / parallel.Cycles, single, parallel, nil
+}
+
+// distributor feeds triangles in strict submission order to the routed
+// nodes' FIFOs, blocking while any destination FIFO is full.
+type distributor struct {
+	sim   *sim.Simulator
+	m     *Machine
+	frame *trace.Scene
+	fifos []*sim.FIFO[engine.TriangleWork]
+
+	next    int   // next triangle index to distribute
+	pending []int // remaining destinations of triangle `next`
+	work    []engine.TriangleWork
+	done    bool
+
+	routeScratch []int
+	spanScratch  [][]raster.Span
+}
+
+func newDistributor(s *sim.Simulator, m *Machine, frame *trace.Scene) *distributor {
+	d := &distributor{
+		sim:          s,
+		m:            m,
+		frame:        frame,
+		routeScratch: make([]int, 0, m.cfg.Procs),
+		spanScratch:  make([][]raster.Span, m.cfg.Procs),
+		work:         make([]engine.TriangleWork, m.cfg.Procs),
+	}
+	for i := 0; i < m.cfg.Procs; i++ {
+		d.fifos = append(d.fifos, sim.NewFIFO[engine.TriangleWork](s, m.cfg.TriangleBuffer))
+	}
+	return d
+}
+
+// step distributes triangles until a FIFO back-pressures, then re-arms on
+// that FIFO's space event. Distribution is instantaneous in simulated time
+// (ideal geometry stage and network), so all pushes happen at the stall-free
+// front of the machine.
+func (d *distributor) step(now sim.Time) {
+	for {
+		if len(d.pending) == 0 {
+			if d.next == len(d.frame.Triangles) {
+				d.done = true
+				return
+			}
+			d.prepare(d.next)
+			d.next++
+			if len(d.pending) == 0 {
+				continue // off-screen triangle: routed nowhere
+			}
+		}
+		for len(d.pending) > 0 {
+			dst := d.pending[0]
+			if !d.fifos[dst].TryPush(d.work[dst]) {
+				d.fifos[dst].WaitSpace(d.step)
+				return
+			}
+			d.pending = d.pending[1:]
+		}
+	}
+}
+
+// prepare rasterizes triangle i once, demultiplexes its spans per owning
+// node, and sets up the pending destination list.
+func (d *distributor) prepare(i int) {
+	t := &d.frame.Triangles[i]
+	tex := d.m.mgr.Texture(t.TexID)
+	lod := t.Tex.LOD()
+
+	dests := d.m.dist.Route(t.BBox(), d.routeScratch[:0])
+	for _, p := range dests {
+		d.spanScratch[p] = d.spanScratch[p][:0]
+	}
+	d.m.rast.ForEachSpan(*t, d.frame.Screen, func(sp raster.Span) {
+		d.m.dist.ForEachOwnedSegment(sp.Y, sp.X0, sp.X1, func(proc, x0, x1 int) {
+			d.spanScratch[proc] = append(d.spanScratch[proc], raster.Span{Y: sp.Y, X0: x0, X1: x1})
+		})
+	})
+	// One backing array holds every destination's segments for this
+	// triangle, so a triangle costs one allocation however many nodes it
+	// fans out to.
+	total := 0
+	for _, p := range dests {
+		total += len(d.spanScratch[p])
+	}
+	var backing []raster.Span
+	if total > 0 {
+		backing = make([]raster.Span, 0, total)
+	}
+	d.pending = d.pending[:0]
+	for _, p := range dests {
+		segs := d.spanScratch[p]
+		var owned []raster.Span
+		if len(segs) > 0 {
+			start := len(backing)
+			backing = append(backing, segs...)
+			owned = backing[start:len(backing):len(backing)]
+		}
+		d.work[p] = engine.TriangleWork{Tex: tex, Map: t.Tex, LOD: lod, Segments: owned}
+		d.pending = append(d.pending, p)
+	}
+	d.routeScratch = dests[:0]
+}
+
+// nodeProc is one node's consumer loop on the sim kernel.
+type nodeProc struct {
+	sim    *sim.Simulator
+	engine *engine.Engine
+	fifo   *sim.FIFO[engine.TriangleWork]
+}
+
+func (n *nodeProc) step(now sim.Time) {
+	w, ok := n.fifo.TryPop()
+	if !ok {
+		n.fifo.WaitItem(n.step)
+		return
+	}
+	done := n.engine.ProcessTriangle(float64(now), &w)
+	n.sim.At(sim.Time(math.Ceil(done)), n.step)
+}

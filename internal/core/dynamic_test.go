@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+func TestDynamicFragmentsMatchStatic(t *testing.T) {
+	// Dynamic assignment redistributes tiles but must draw exactly the same
+	// fragments as the static machine.
+	scene := testScene(41, 80, 128)
+	cfg := Config{Procs: 8, Distribution: distrib.BlockKind, TileSize: 16,
+		CacheKind: CachePerfect}
+	static, err := Simulate(scene, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []DynamicOrder{DynamicScreenOrder, DynamicLPT} {
+		dyn, err := SimulateDynamic(scene, cfg, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dyn.Fragments != static.Fragments {
+			t.Errorf("%v: dynamic fragments %d != static %d",
+				order, dyn.Fragments, static.Fragments)
+		}
+	}
+}
+
+func TestDynamicRejectsSLI(t *testing.T) {
+	scene := testScene(43, 10, 64)
+	_, err := SimulateDynamic(scene, Config{
+		Procs: 4, Distribution: distrib.SLIKind, TileSize: 2, CacheKind: CachePerfect,
+	}, DynamicLPT)
+	if err == nil {
+		t.Error("dynamic scheduling accepted SLI")
+	}
+}
+
+func TestDynamicBeatsStaticOnAliasedStrip(t *testing.T) {
+	// The static interleave's worst case: a hot vertical strip whose tiles
+	// all alias to the same processor. Screen 256 px, tile 16 → 16 tiles per
+	// row; with 8 processors, the tiles of column 0 have ids 0, 16, 32, …
+	// ≡ 0 (mod 8): the whole strip lands on processor 0. A dynamic tile
+	// queue spreads the strip's 8 tiles over all processors.
+	s := &trace.Scene{
+		Name:     "strip",
+		Screen:   geom.Rect{X0: 0, Y0: 0, X1: 256, Y1: 256},
+		Textures: []trace.TexSize{{W: 64, H: 64}},
+	}
+	for i := 0; i < 40; i++ {
+		s.Triangles = append(s.Triangles,
+			geom.Triangle{V: [3]geom.Vec2{{X: 0, Y: 0}, {X: 15.5, Y: 0}, {X: 0, Y: 128}},
+				Tex: geom.TexMap{DuDx: 1, DvDy: 1}},
+			geom.Triangle{V: [3]geom.Vec2{{X: 15.5, Y: 0}, {X: 15.5, Y: 128}, {X: 0, Y: 128}},
+				Tex: geom.TexMap{DuDx: 1, DvDy: 1}},
+		)
+	}
+	cfg := Config{Procs: 8, Distribution: distrib.BlockKind, TileSize: 16,
+		CacheKind: CachePerfect}
+	static, err := Simulate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := SimulateDynamic(s, cfg, DynamicLPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Fragments != static.Fragments {
+		t.Fatalf("fragment mismatch: %d vs %d", dyn.Fragments, static.Fragments)
+	}
+	if dyn.Cycles*2 > static.Cycles {
+		t.Errorf("dynamic LPT (%v cycles) not well below aliased static interleave (%v cycles)",
+			dyn.Cycles, static.Cycles)
+	}
+}
+
+func TestDynamicLPTNoWorseThanScreenOrder(t *testing.T) {
+	scene := testScene(47, 150, 256)
+	cfg := Config{Procs: 16, Distribution: distrib.BlockKind, TileSize: 32,
+		CacheKind: CachePerfect}
+	lpt, err := SimulateDynamic(scene, cfg, DynamicLPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	screen, err := SimulateDynamic(scene, cfg, DynamicScreenOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPT is not universally optimal, but on a many-tile workload it should
+	// not lose badly to naive order.
+	if lpt.Cycles > screen.Cycles*1.05 {
+		t.Errorf("LPT (%v) much worse than screen order (%v)", lpt.Cycles, screen.Cycles)
+	}
+}
+
+func TestDynamicDeterminism(t *testing.T) {
+	scene := testScene(53, 60, 128)
+	cfg := Config{Procs: 6, Distribution: distrib.BlockKind, TileSize: 16,
+		CacheKind: CacheReal}
+	a, err := SimulateDynamic(scene, cfg, DynamicLPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateDynamic(scene, cfg, DynamicLPT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Fragments != b.Fragments {
+		t.Error("dynamic simulation not deterministic")
+	}
+}
+
+func TestDynamicOrderString(t *testing.T) {
+	if DynamicScreenOrder.String() != "screen-order" || DynamicLPT.String() != "LPT" {
+		t.Error("order names wrong")
+	}
+}

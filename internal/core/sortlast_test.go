@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/scene"
+)
+
+func TestSortLastFragmentsMatchSortMiddle(t *testing.T) {
+	// Sort-last draws every fragment exactly once (each triangle fully on
+	// one node), so totals match the sort-middle machine.
+	sc := testScene(61, 80, 128)
+	middle, err := Simulate(sc, Config{Procs: 8, TileSize: 16, CacheKind: CachePerfect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []SortLastAssignment{SortLastRoundRobin, SortLastChunked} {
+		last, err := SimulateSortLast(sc, Config{Procs: 8, CacheKind: CachePerfect}, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last.Fragments != middle.Fragments {
+			t.Errorf("%v: sort-last fragments %d != sort-middle %d",
+				a, last.Fragments, middle.Fragments)
+		}
+	}
+}
+
+func TestSortLastNoTriangleOverlap(t *testing.T) {
+	// Every drawable triangle goes to exactly one node: routed count equals
+	// the drawable triangle count, unlike sort-middle's bbox fan-out.
+	sc := testScene(67, 100, 128)
+	res, err := SimulateSortLast(sc, Config{Procs: 16, CacheKind: CachePerfect},
+		SortLastRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrianglesRouted > uint64(len(sc.Triangles)) {
+		t.Errorf("sort-last routed %d of %d triangles", res.TrianglesRouted, len(sc.Triangles))
+	}
+	middle, err := Simulate(sc, Config{Procs: 16, TileSize: 4, CacheKind: CachePerfect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if middle.TrianglesRouted <= res.TrianglesRouted {
+		t.Error("sort-middle with small tiles should route more triangle copies than sort-last")
+	}
+}
+
+func TestSortLastChunkedBetterLocalityThanSortMiddle(t *testing.T) {
+	// The paper's motivation for studying sort-middle locality: in sort-last
+	// each object's texture stays on one node, so the aggregate texel
+	// traffic should not exceed a fine-tiled sort-middle machine, which
+	// splits every surface's cache lines across nodes.
+	b, err := scene.ByName("32massive11255", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := b.MustBuild()
+	const procs = 16
+	last, err := SimulateSortLast(sc, Config{Procs: procs, CacheKind: CacheReal},
+		SortLastChunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	middleFine, err := Simulate(sc, Config{
+		Procs: procs, Distribution: distrib.SLIKind, TileSize: 1, CacheKind: CacheReal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.TexelToFragment() >= middleFine.TexelToFragment() {
+		t.Errorf("sort-last chunked ratio %v not below 1-line-SLI sort-middle %v",
+			last.TexelToFragment(), middleFine.TexelToFragment())
+	}
+}
+
+func TestSortLastChunkedBeatsRoundRobinLocality(t *testing.T) {
+	// Chunked assignment keeps mesh patches (and their texture regions)
+	// together; round-robin scatters them, so chunked must fetch fewer
+	// texels.
+	b, err := scene.ByName("quake", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := b.MustBuild()
+	cfg := Config{Procs: 16, CacheKind: CacheReal}
+	chunked, err := SimulateSortLast(sc, cfg, SortLastChunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := SimulateSortLast(sc, cfg, SortLastRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.TexelToFragment() >= rr.TexelToFragment() {
+		t.Errorf("chunked ratio %v not below round-robin %v",
+			chunked.TexelToFragment(), rr.TexelToFragment())
+	}
+}
+
+func TestSortLastDeterministic(t *testing.T) {
+	sc := testScene(71, 60, 128)
+	cfg := Config{Procs: 4, CacheKind: CacheReal}
+	a, err := SimulateSortLast(sc, cfg, SortLastChunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateSortLast(sc, cfg, SortLastChunked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Fragments != b.Fragments {
+		t.Error("sort-last not deterministic")
+	}
+}
+
+func TestSortLastAssignmentString(t *testing.T) {
+	if SortLastRoundRobin.String() != "round-robin" || SortLastChunked.String() != "chunked" {
+		t.Error("assignment names wrong")
+	}
+}

@@ -1,0 +1,286 @@
+package distrib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+var screen = geom.Rect{X0: 0, Y0: 0, X1: 160, Y1: 120}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewBlock(screen, 4, 0); err == nil {
+		t.Error("zero block width accepted")
+	}
+	if _, err := NewBlock(screen, 0, 16); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := NewBlock(geom.Rect{}, 4, 16); err == nil {
+		t.Error("empty screen accepted")
+	}
+	if _, err := NewSLI(screen, 4, 0); err == nil {
+		t.Error("zero SLI lines accepted")
+	}
+	if _, err := New(Kind(99), screen, 4, 16); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	b, _ := NewBlock(screen, 4, 16)
+	s, _ := NewSLI(screen, 4, 2)
+	if b.Name() != "block16" || s.Name() != "sli2" {
+		t.Errorf("names = %q, %q", b.Name(), s.Name())
+	}
+	if BlockKind.String() != "block" || SLIKind.String() != "sli" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func allDistributions(t *testing.T, procs, size int) []Distribution {
+	t.Helper()
+	b, err := NewBlock(screen, procs, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSLI(screen, procs, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Distribution{b, s}
+}
+
+func TestOwnerIsPartition(t *testing.T) {
+	for _, procs := range []int{1, 3, 4, 16, 64} {
+		for _, size := range []int{1, 2, 7, 16, 128} {
+			for _, d := range allDistributions(t, procs, size) {
+				counts := make([]int, procs)
+				for y := screen.Y0; y < screen.Y1; y++ {
+					for x := screen.X0; x < screen.X1; x++ {
+						p := d.Owner(x, y)
+						if p < 0 || p >= procs {
+							t.Fatalf("%s procs=%d: owner(%d,%d)=%d out of range",
+								d.Name(), procs, x, y, p)
+						}
+						counts[p]++
+					}
+				}
+				total := 0
+				for _, c := range counts {
+					total += c
+				}
+				if total != screen.Area() {
+					t.Fatalf("%s: partition total %d != %d", d.Name(), total, screen.Area())
+				}
+			}
+		}
+	}
+}
+
+func TestBlockOwnerGeometry(t *testing.T) {
+	b, _ := NewBlock(screen, 4, 16)
+	// Tiles along row 0: owners 0,1,2,3,0,1,... (tilesX = 10).
+	for tx := 0; tx < 10; tx++ {
+		if got := b.Owner(tx*16, 0); got != tx%4 {
+			t.Errorf("tile (%d,0) owner = %d, want %d", tx, got, tx%4)
+		}
+	}
+	// Row of tiles 1 starts at tile index 10 → owner 10%4 = 2.
+	if got := b.Owner(0, 16); got != 2 {
+		t.Errorf("tile (0,1) owner = %d, want 2", got)
+	}
+	// All pixels of one tile share an owner.
+	want := b.Owner(32, 32)
+	for dy := 0; dy < 16; dy++ {
+		for dx := 0; dx < 16; dx++ {
+			if b.Owner(32+dx, 32+dy) != want {
+				t.Fatalf("tile not uniform at +(%d,%d)", dx, dy)
+			}
+		}
+	}
+}
+
+func TestSLIOwnerGeometry(t *testing.T) {
+	s, _ := NewSLI(screen, 4, 2)
+	wantOwners := []int{0, 0, 1, 1, 2, 2, 3, 3, 0, 0}
+	for y, want := range wantOwners {
+		if got := s.Owner(77, y); got != want {
+			t.Errorf("row %d owner = %d, want %d", y, got, want)
+		}
+	}
+	// Owner must not depend on x.
+	for x := 0; x < 160; x += 13 {
+		if s.Owner(x, 5) != s.Owner(0, 5) {
+			t.Fatal("SLI owner depends on x")
+		}
+	}
+}
+
+func TestRouteMatchesOwners(t *testing.T) {
+	// Route must return exactly the set of owners of tiles intersecting the
+	// bbox — a superset of the owners of pixels in the bbox, and for
+	// tile-aligned boxes exactly equal.
+	boxes := []geom.Rect{
+		{X0: 0, Y0: 0, X1: 160, Y1: 120},     // whole screen
+		{X0: 5, Y0: 5, X1: 6, Y1: 6},         // single pixel
+		{X0: 30, Y0: 40, X1: 95, Y1: 41},     // thin horizontal
+		{X0: 10, Y0: 0, X1: 11, Y1: 120},     // thin vertical
+		{X0: 150, Y0: 110, X1: 300, Y1: 300}, // overhangs the screen
+	}
+	for _, procs := range []int{1, 4, 16, 64} {
+		for _, size := range []int{1, 4, 16, 32} {
+			for _, d := range allDistributions(t, procs, size) {
+				for _, bb := range boxes {
+					routed := make(map[int]bool)
+					for _, p := range d.Route(bb, nil) {
+						if routed[p] {
+							t.Fatalf("%s: Route returned duplicate proc %d", d.Name(), p)
+						}
+						routed[p] = true
+					}
+					clipped := bb.Intersect(d.Screen())
+					for y := clipped.Y0; y < clipped.Y1; y++ {
+						for x := clipped.X0; x < clipped.X1; x++ {
+							if p := d.Owner(x, y); !routed[p] {
+								t.Fatalf("%s procs=%d size=%d: pixel (%d,%d) owner %d not routed for %v",
+									d.Name(), procs, size, x, y, p, bb)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteOffscreenIsEmpty(t *testing.T) {
+	for _, d := range allDistributions(t, 4, 16) {
+		if got := d.Route(geom.Rect{X0: 500, Y0: 500, X1: 600, Y1: 600}, nil); len(got) != 0 {
+			t.Errorf("%s: offscreen bbox routed to %v", d.Name(), got)
+		}
+	}
+}
+
+func TestRouteAppendsToDst(t *testing.T) {
+	b, _ := NewBlock(screen, 4, 16)
+	dst := []int{-1}
+	out := b.Route(geom.Rect{X0: 0, Y0: 0, X1: 8, Y1: 8}, dst)
+	if len(out) != 2 || out[0] != -1 {
+		t.Errorf("Route did not append: %v", out)
+	}
+}
+
+func TestForEachOwnedSegmentCoversRow(t *testing.T) {
+	for _, procs := range []int{1, 4, 16} {
+		for _, size := range []int{1, 5, 16} {
+			for _, d := range allDistributions(t, procs, size) {
+				for _, y := range []int{0, 17, 119} {
+					next := 3 // start of the segment under test
+					d.ForEachOwnedSegment(y, 3, 157, func(proc, x0, x1 int) {
+						if x0 != next {
+							t.Fatalf("%s: segment gap at row %d: got x0=%d want %d",
+								d.Name(), y, x0, next)
+						}
+						if x1 <= x0 {
+							t.Fatalf("%s: empty segment", d.Name())
+						}
+						for x := x0; x < x1; x++ {
+							if d.Owner(x, y) != proc {
+								t.Fatalf("%s: segment [%d,%d) row %d labeled %d but owner(%d)=%d",
+									d.Name(), x0, x1, y, proc, x, d.Owner(x, y))
+							}
+						}
+						next = x1
+					})
+					if next != 157 {
+						t.Fatalf("%s: row %d segments ended at %d, want 157", d.Name(), y, next)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForEachOwnedSegmentEmpty(t *testing.T) {
+	for _, d := range allDistributions(t, 4, 8) {
+		called := false
+		d.ForEachOwnedSegment(10, 50, 50, func(int, int, int) { called = true })
+		if called {
+			t.Errorf("%s: empty segment invoked callback", d.Name())
+		}
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	// For random geometry parameters, Owner is always in range and segments
+	// reconstruct Owner exactly.
+	f := func(pk uint8, procs, size uint8, y, x0, w uint8) bool {
+		p := int(procs%64) + 1
+		sz := int(size%48) + 1
+		var d Distribution
+		var err error
+		if pk%2 == 0 {
+			d, err = NewBlock(screen, p, sz)
+		} else {
+			d, err = NewSLI(screen, p, sz)
+		}
+		if err != nil {
+			return false
+		}
+		yy := int(y) % 120
+		xa := int(x0) % 160
+		xb := xa + int(w)%(160-xa) + 1
+		if xb > 160 {
+			xb = 160
+		}
+		ok := true
+		covered := xa
+		d.ForEachOwnedSegment(yy, xa, xb, func(proc, sx0, sx1 int) {
+			if sx0 != covered || proc != d.Owner(sx0, yy) || proc >= p || proc < 0 {
+				ok = false
+			}
+			covered = sx1
+		})
+		return ok && covered == xb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavingSpreadsTiles(t *testing.T) {
+	// With many more tiles than processors, per-processor pixel counts must
+	// be within a few tiles of each other (static interleave fairness).
+	b, _ := NewBlock(screen, 4, 8) // 20x15 = 300 tiles over 4 procs
+	counts := make([]int, 4)
+	for y := 0; y < 120; y++ {
+		for x := 0; x < 160; x++ {
+			counts[b.Owner(x, y)]++
+		}
+	}
+	for p, c := range counts {
+		if c < screen.Area()/4-8*8*2 || c > screen.Area()/4+8*8*2 {
+			t.Errorf("proc %d owns %d pixels, want ≈%d", p, c, screen.Area()/4)
+		}
+	}
+}
+
+func BenchmarkBlockSegments(b *testing.B) {
+	d, _ := NewBlock(geom.Rect{X1: 1600, Y1: 1200}, 16, 16)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		d.ForEachOwnedSegment(i%1200, 0, 1600, func(proc, x0, x1 int) { n += x1 - x0 })
+	}
+	_ = n
+}
+
+func BenchmarkRoute(b *testing.B) {
+	d, _ := NewBlock(geom.Rect{X1: 1600, Y1: 1200}, 64, 16)
+	bb := geom.Rect{X0: 100, Y0: 100, X1: 180, Y1: 230}
+	dst := make([]int, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = d.Route(bb, dst[:0])
+	}
+}

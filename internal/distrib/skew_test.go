@@ -1,0 +1,117 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestSkewedIsPartition(t *testing.T) {
+	scr := geom.Rect{X0: 0, Y0: 0, X1: 160, Y1: 120}
+	for _, procs := range []int{3, 8, 64} {
+		for _, size := range []int{1, 7, 16} {
+			d, err := NewBlockSkewed(scr, procs, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for y := 0; y < 120; y += 3 {
+				for x := 0; x < 160; x += 3 {
+					p := d.Owner(x, y)
+					if p < 0 || p >= procs {
+						t.Fatalf("skewed owner(%d,%d) = %d out of range", x, y, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSkewedBreaksColumnAliasing(t *testing.T) {
+	// 256-px screen, 16-px tiles → 16 tiles per row. With 8 processors the
+	// plain interleave gives every tile of column 0 to processor 0; the
+	// skewed one rotates owners down the column.
+	scr := geom.Rect{X0: 0, Y0: 0, X1: 256, Y1: 256}
+	plain, err := NewBlock(scr, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := NewBlockSkewed(scr, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOwners := make(map[int]bool)
+	skewOwners := make(map[int]bool)
+	for ty := 0; ty < 16; ty++ {
+		plainOwners[plain.Owner(0, ty*16)] = true
+		skewOwners[skewed.Owner(0, ty*16)] = true
+	}
+	if len(plainOwners) != 1 {
+		t.Fatalf("test premise broken: plain column owners = %v", plainOwners)
+	}
+	if len(skewOwners) != 8 {
+		t.Errorf("skewed column hits %d owners, want all 8", len(skewOwners))
+	}
+}
+
+func TestSkewedRouteMatchesOwners(t *testing.T) {
+	scr := geom.Rect{X0: 0, Y0: 0, X1: 160, Y1: 120}
+	d, err := NewBlockSkewed(scr, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := []geom.Rect{
+		{X0: 0, Y0: 0, X1: 160, Y1: 120},
+		{X0: 30, Y0: 40, X1: 95, Y1: 41},
+		{X0: 10, Y0: 0, X1: 11, Y1: 120},
+	}
+	for _, bb := range boxes {
+		routed := make(map[int]bool)
+		for _, p := range d.Route(bb, nil) {
+			routed[p] = true
+		}
+		clipped := bb.Intersect(scr)
+		for y := clipped.Y0; y < clipped.Y1; y++ {
+			for x := clipped.X0; x < clipped.X1; x++ {
+				if p := d.Owner(x, y); !routed[p] {
+					t.Fatalf("pixel (%d,%d) owner %d not routed for %v", x, y, p, bb)
+				}
+			}
+		}
+	}
+}
+
+func TestSkewedSegmentsMatchOwner(t *testing.T) {
+	scr := geom.Rect{X0: 0, Y0: 0, X1: 160, Y1: 120}
+	d, err := NewBlockSkewed(scr, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, y := range []int{0, 33, 119} {
+		covered := 0
+		d.ForEachOwnedSegment(y, 0, 160, func(proc, x0, x1 int) {
+			for x := x0; x < x1; x++ {
+				if d.Owner(x, y) != proc {
+					t.Fatalf("segment owner mismatch at (%d,%d)", x, y)
+				}
+			}
+			covered += x1 - x0
+		})
+		if covered != 160 {
+			t.Fatalf("row %d covered %d of 160", y, covered)
+		}
+	}
+}
+
+func TestSkewedKindAndName(t *testing.T) {
+	if BlockSkewedKind.String() != "blockskew" {
+		t.Error("kind string wrong")
+	}
+	scr := geom.Rect{X0: 0, Y0: 0, X1: 64, Y1: 64}
+	d, err := New(BlockSkewedKind, scr, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "blockskew16" {
+		t.Errorf("name = %q", d.Name())
+	}
+}

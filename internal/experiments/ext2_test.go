@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtSortLastShape(t *testing.T) {
+	rep, err := RunExtSortLast(shapeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(rep.Table))
+	}
+	speed, routed := rep.Table[0], rep.Table[1]
+	// Sort-last must fetch fewer texels per fragment than block-16
+	// sort-middle on every scene (cols: 3 = middle ratio, 4 = last ratio).
+	for _, row := range speed.Rows {
+		middle, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last >= middle {
+			t.Errorf("%s: sort-last ratio %v not below sort-middle %v", row[0], last, middle)
+		}
+	}
+	// Sort-last routes each triangle exactly once; sort-middle more.
+	for _, row := range routed.Rows {
+		tris, _ := strconv.ParseFloat(row[1], 64)
+		mid, _ := strconv.ParseFloat(row[2], 64)
+		last, _ := strconv.ParseFloat(row[3], 64)
+		if last > tris {
+			t.Errorf("%s: sort-last routed %v > %v triangles", row[0], last, tris)
+		}
+		if mid <= last {
+			t.Errorf("%s: sort-middle routed %v not above sort-last %v", row[0], mid, last)
+		}
+	}
+}
+
+func TestExtOverlapShape(t *testing.T) {
+	rep, err := RunExtOverlap(shapeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routedTab := rep.Table[0]
+	// Cells are "measured (predicted)": prediction within 40 % of measured
+	// everywhere, and measured shrinks as width grows.
+	parse := func(cell string) (measured, predicted float64) {
+		parts := strings.SplitN(cell, " (", 2)
+		m, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		p, err := strconv.ParseFloat(strings.TrimSuffix(parts[1], ")"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return m, p
+	}
+	prev := make([]float64, len(routedTab.Header))
+	for ri, row := range routedTab.Rows {
+		for ci := 1; ci < len(row); ci++ {
+			m, p := parse(row[ci])
+			if m <= 0 || p <= 0 {
+				t.Fatalf("row %s col %d: nonpositive cell", row[0], ci)
+			}
+			rel := (p - m) / m
+			if rel < -0.4 || rel > 0.6 {
+				t.Errorf("width %s scene col %d: prediction %v vs measured %v", row[0], ci, p, m)
+			}
+			if ri > 0 && m >= prev[ci] {
+				t.Errorf("col %d: measured overlap did not shrink with width (row %s)", ci, row[0])
+			}
+			prev[ci] = m
+		}
+	}
+	// Setup share shrinks with width for every scene.
+	setupTab := rep.Table[1]
+	first, lastRow := setupTab.Rows[0], setupTab.Rows[len(setupTab.Rows)-1]
+	for ci := 1; ci < len(first); ci++ {
+		f, _ := strconv.ParseFloat(strings.TrimSuffix(first[ci], "%"), 64)
+		l, _ := strconv.ParseFloat(strings.TrimSuffix(lastRow[ci], "%"), 64)
+		if l >= f {
+			t.Errorf("col %d: setup share grew with width (%v%% → %v%%)", ci, f, l)
+		}
+	}
+}

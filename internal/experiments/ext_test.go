@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtRegistryComplete(t *testing.T) {
+	for _, id := range []string{"ext-l2", "ext-dynamic", "ext-prefetch", "ext-cache"} {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("extension %q not registered", id)
+		}
+	}
+}
+
+// pctCell parses a "12.3%" cell at (rowLabel, col).
+func pctCell(t *testing.T, tab interface{ String() string }, rowLabel string, col int) float64 {
+	t.Helper()
+	v := cellValue(t, tab, rowLabel, col)
+	return v
+}
+
+func TestExtL2Shape(t *testing.T) {
+	rep, err := RunExtL2(shapeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(rep.Table))
+	}
+	small, big := rep.Table[0], rep.Table[1] // block-16, block-64
+	// Static camera: warm traffic (col 3 = warm/cold %) is zero.
+	if got := pctCell(t, small, "0", 3); got != 0 {
+		t.Errorf("static warm/cold = %v%%, want 0", got)
+	}
+	// Panning beyond the tile size costs more than panning within it.
+	tiny := pctCell(t, small, "4", 3)
+	bigPan := pctCell(t, small, "32", 3)
+	if bigPan <= tiny {
+		t.Errorf("block-16: 32-px pan (%v%%) not above 4-px pan (%v%%)", bigPan, tiny)
+	}
+	// The larger tile tolerates a 16-px pan better than the small tile.
+	if pctCell(t, big, "16", 3) >= pctCell(t, small, "16", 3) {
+		t.Errorf("block-64 16-px pan (%v%%) not below block-16's (%v%%)",
+			pctCell(t, big, "16", 3), pctCell(t, small, "16", 3))
+	}
+}
+
+func TestExtDynamicShape(t *testing.T) {
+	rep, err := RunExtDynamic(shapeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Table[0]
+	if len(tab.Rows) != 7 {
+		t.Fatalf("want 7 scene rows, got %d", len(tab.Rows))
+	}
+	// LPT must beat or match static on every scene (it is an upper bound
+	// with whole-frame knowledge), and beat it clearly on at least half.
+	wins := 0
+	for _, row := range tab.Rows {
+		static, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpt, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lpt < static*0.98 {
+			t.Errorf("%s: dynamic LPT %v below static %v", row[0], lpt, static)
+		}
+		if lpt > static*1.1 {
+			wins++
+		}
+	}
+	if wins < 3 {
+		t.Errorf("dynamic LPT clearly better on only %d/7 scenes", wins)
+	}
+}
+
+func TestExtPrefetchShape(t *testing.T) {
+	rep, err := RunExtPrefetch(shapeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Table[0]
+	// Cycles must be non-increasing in depth; depth 1 must stall much more
+	// than depth 256.
+	var prev float64
+	for i, row := range tab.Rows {
+		c, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && c > prev*1.001 {
+			t.Errorf("depth %s cycles %v above shallower depth's %v", row[0], c, prev)
+		}
+		prev = c
+	}
+	first := cellValue(t, tab, "1", 3)
+	last := cellValue(t, tab, "256", 3)
+	if first <= last {
+		t.Errorf("depth-1 stalls (%v) not above depth-256 stalls (%v)", first, last)
+	}
+}
+
+func TestExtCacheShape(t *testing.T) {
+	rep, err := RunExtCache(shapeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Table[0]
+	// Bigger caches never fetch more (same associativity column), and at
+	// 4 KB higher associativity helps.
+	col4way := 3
+	if cellValue(t, tab, "64KB", col4way) > cellValue(t, tab, "4KB", col4way) {
+		t.Error("64 KB cache fetches more than 4 KB cache")
+	}
+	small1 := cellValue(t, tab, "4KB", 1)
+	small4 := cellValue(t, tab, "4KB", col4way)
+	if small4 >= small1 {
+		t.Errorf("4 KB: 4-way ratio %v not below direct-mapped %v", small4, small1)
+	}
+	// The knee: going 16→64 KB buys much less than 4→16 KB.
+	gainSmall := cellValue(t, tab, "4KB", col4way) - cellValue(t, tab, "16KB", col4way)
+	gainBig := cellValue(t, tab, "16KB", col4way) - cellValue(t, tab, "64KB", col4way)
+	if gainBig >= gainSmall {
+		t.Errorf("no knee at 16 KB: 4→16 gain %v vs 16→64 gain %v", gainSmall, gainBig)
+	}
+}
+
+func TestReportsMentionScale(t *testing.T) {
+	rep, err := RunExtCache(smokeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "scale") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("report notes omit the scene scale")
+	}
+}

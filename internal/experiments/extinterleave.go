@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/scene"
+	"repro/internal/stats"
+)
+
+// extInterleaveWidths are the block widths the interleave ablation sweeps.
+var extInterleaveWidths = []int{16, 32, 64}
+
+// RunExtInterleave ablates a design choice the paper fixes silently: *which*
+// static interleave assigns tiles to processors. The paper's row-major
+// round-robin aliases badly when the tile-row length divides evenly by the
+// processor count (a vertical feature lands on one processor); a skewed
+// interleave rotates each tile row by one processor. The experiment compares
+// pixel-work imbalance of the two patterns at 64 processors.
+func RunExtInterleave(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	scenes, err := buildAllScenes(opt)
+	if err != nil {
+		return nil, err
+	}
+	names := scene.Names()
+	const procs = 64
+
+	type key struct {
+		scene string
+		kind  distrib.Kind
+		width int
+	}
+	cells := make(map[key]float64)
+	var jobs []key
+	for _, n := range names {
+		for _, w := range extInterleaveWidths {
+			jobs = append(jobs, key{n, distrib.BlockKind, w},
+				key{n, distrib.BlockSkewedKind, w})
+		}
+	}
+	var mu sync.Mutex
+	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+		k := jobs[i]
+		res, err := simulate(scenes[k.scene], core.Config{
+			Procs: procs, Distribution: k.kind, TileSize: k.width,
+			CacheKind: core.CachePerfect,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		cells[k] = res.PixelImbalance()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &stats.Table{
+		Caption: fmt.Sprintf("%d processors, perfect cache: pixel imbalance, row-major vs skewed block interleave", procs),
+		Header:  []string{"scene"},
+	}
+	for _, w := range extInterleaveWidths {
+		tab.Header = append(tab.Header,
+			fmt.Sprintf("w%d plain", w), fmt.Sprintf("w%d skewed", w))
+	}
+	for _, n := range names {
+		row := []string{n}
+		for _, w := range extInterleaveWidths {
+			row = append(row,
+				stats.Pct(cells[key{n, distrib.BlockKind, w}]),
+				stats.Pct(cells[key{n, distrib.BlockSkewedKind, w}]))
+		}
+		tab.AddRow(row...)
+	}
+
+	return &Report{
+		ID:    "ext-interleave",
+		Title: "Ablation: tile-to-processor interleave pattern",
+		Notes: []string{
+			scaleNote(opt),
+			"expect: similar imbalance on the organic benchmarks (their hot spots are compact, not axis-aligned); the skew's worst-case protection shows on synthetic vertical features (see TestSkewedBreaksColumnAliasing)",
+		},
+		Table: []*stats.Table{tab},
+	}, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// fig6Procs is the x-axis of Figure 6.
+var fig6Procs = []int{1, 2, 4, 8, 16, 32, 64}
+
+// fig6BlockWidths drops widths 1 and 2, which the paper removed "for they
+// often have ratios bigger than 8, the ratio of a cacheless machine".
+var fig6BlockWidths = []int{4, 8, 16, 32, 64, 128}
+
+// fig6Scenes are the two scenes plotted (the paper notes room3, blowout775
+// and truc640 behave like 32massive11255, and quake like teapot.full).
+var fig6Scenes = []string{"32massive11255", "teapot.full"}
+
+// RunFig6Locality reproduces Figure 6: the average external texel-to-
+// fragment bandwidth each node's 16 KB cache demands, versus processor
+// count, for every distribution parameter, on an infinite bus.
+func RunFig6Locality(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+
+	type cellKey struct {
+		scene string
+		kind  distrib.Kind
+		size  int
+		procs int
+	}
+	type job struct {
+		key cellKey
+		cfg core.Config
+	}
+	var jobs []job
+	for _, sceneName := range fig6Scenes {
+		for _, procs := range fig6Procs {
+			for _, w := range fig6BlockWidths {
+				jobs = append(jobs, job{cellKey{sceneName, distrib.BlockKind, w, procs}, core.Config{
+					Procs: procs, Distribution: distrib.BlockKind, TileSize: w,
+					CacheKind: core.CacheReal,
+				}})
+			}
+			for _, l := range sliLines {
+				jobs = append(jobs, job{cellKey{sceneName, distrib.SLIKind, l, procs}, core.Config{
+					Procs: procs, Distribution: distrib.SLIKind, TileSize: l,
+					CacheKind: core.CacheReal,
+				}})
+			}
+		}
+	}
+
+	builtScenes := make(map[string]*trace.Scene, len(fig6Scenes))
+	for _, n := range fig6Scenes {
+		s, err := buildScene(n, opt)
+		if err != nil {
+			return nil, err
+		}
+		builtScenes[n] = s
+	}
+
+	cells := make(map[cellKey]float64, len(jobs))
+	var mu sync.Mutex
+	err := forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := simulate(builtScenes[j.key.scene], j.cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		cells[j.key] = res.TexelToFragment()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*stats.Table
+	for _, sceneName := range fig6Scenes {
+		for _, spec := range []struct {
+			kind  distrib.Kind
+			sizes []int
+			label string
+		}{
+			{distrib.BlockKind, fig6BlockWidths, "w"},
+			{distrib.SLIKind, sliLines, "l"},
+		} {
+			header := []string{"procs"}
+			for _, sz := range spec.sizes {
+				header = append(header, fmt.Sprintf("%s%d", spec.label, sz))
+			}
+			t := &stats.Table{
+				Caption: fmt.Sprintf("%s / %s distribution: texel-to-fragment ratio (16 KB caches, infinite bus)",
+					sceneName, spec.kind),
+				Header: header,
+			}
+			for _, procs := range fig6Procs {
+				row := []string{fmt.Sprintf("%d", procs)}
+				for _, sz := range spec.sizes {
+					row = append(row, stats.F(cells[cellKey{sceneName, spec.kind, sz, procs}], 2))
+				}
+				t.AddRow(row...)
+			}
+			tables = append(tables, t)
+		}
+	}
+
+	var charts []*stats.Chart
+	for _, sceneName := range fig6Scenes {
+		ch := &stats.Chart{
+			Title:  fmt.Sprintf("%s: texel-to-fragment ratio vs processors", sceneName),
+			XLabel: "processors",
+			YLabel: "texels/fragment",
+		}
+		for _, pick := range []struct {
+			kind  distrib.Kind
+			size  int
+			label string
+		}{
+			{distrib.BlockKind, 4, "block4"},
+			{distrib.BlockKind, 16, "block16"},
+			{distrib.SLIKind, 1, "sli1"},
+			{distrib.SLIKind, 2, "sli2"},
+		} {
+			s := stats.Series{Name: pick.label}
+			for _, procs := range fig6Procs {
+				s.X = append(s.X, float64(procs))
+				s.Y = append(s.Y, cells[cellKey{sceneName, pick.kind, pick.size, procs}])
+			}
+			ch.Series = append(ch.Series, s)
+		}
+		charts = append(charts, ch)
+	}
+
+	return &Report{
+		ID:    "fig6-locality",
+		Title: "Impact of the distribution scheme on texel locality",
+		Notes: []string{
+			scaleNote(opt),
+			"expect: ratio rises as tiles shrink and as processors multiply; SLI-2 markedly worse than block-16; teapot.full's ratios dwarf 32massive11255's",
+		},
+		Table: tables,
+		Chart: charts,
+	}, nil
+}

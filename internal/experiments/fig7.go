@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/memory"
+	"repro/internal/scene"
+	"repro/internal/stats"
+)
+
+// fig7Procs are the machine sizes of Figure 7's six bar charts.
+var fig7Procs = []int{4, 16, 64}
+
+// RunFig7 reproduces Figure 7: speedups of every benchmark on 4-, 16- and
+// 64-processor machines with 16 KB caches and a 1 texel/pixel bus, for both
+// distributions and all sizes.
+func RunFig7(opt Options) (*Report, error) {
+	return runFig7(opt, 1, "fig7", "Speedups with a bus ratio of 1 texel/pixel")
+}
+
+// RunFig7Bus2 is the companion with the 2 texel/pixel bus, whose results the
+// paper defers to its technical report [15] and summarizes in §7.
+func RunFig7Bus2(opt Options) (*Report, error) {
+	return runFig7(opt, 2, "fig7-bus2", "Speedups with a bus ratio of 2 texels/pixel")
+}
+
+func runFig7(opt Options, busRatio float64, id, title string) (*Report, error) {
+	opt = opt.withDefaults()
+	scenes, err := buildAllScenes(opt)
+	if err != nil {
+		return nil, err
+	}
+	names := scene.Names()
+	bus := memory.BusConfig{TexelsPerCycle: busRatio}
+
+	// Single-processor baselines, one per scene (tile size is irrelevant
+	// with one processor).
+	t1 := make(map[string]float64, len(names))
+	var mu sync.Mutex
+	err = forEachParallel(opt.Parallelism, len(names), func(i int) error {
+		res, err := simulate(scenes[names[i]], core.Config{
+			Procs: 1, CacheKind: core.CacheReal, Bus: bus,
+		})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		t1[names[i]] = res.Cycles
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type cellKey struct {
+		scene string
+		kind  distrib.Kind
+		size  int
+		procs int
+	}
+	type job struct {
+		key cellKey
+		cfg core.Config
+	}
+	var jobs []job
+	for _, n := range names {
+		for _, procs := range fig7Procs {
+			for _, w := range blockWidths {
+				jobs = append(jobs, job{cellKey{n, distrib.BlockKind, w, procs}, core.Config{
+					Procs: procs, Distribution: distrib.BlockKind, TileSize: w,
+					CacheKind: core.CacheReal, Bus: bus,
+				}})
+			}
+			for _, l := range sliLines {
+				jobs = append(jobs, job{cellKey{n, distrib.SLIKind, l, procs}, core.Config{
+					Procs: procs, Distribution: distrib.SLIKind, TileSize: l,
+					CacheKind: core.CacheReal, Bus: bus,
+				}})
+			}
+		}
+	}
+	cells := make(map[cellKey]float64, len(jobs))
+	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+		j := jobs[i]
+		res, err := simulate(scenes[j.key.scene], j.cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		cells[j.key] = t1[j.key.scene] / res.Cycles
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var tables []*stats.Table
+	for _, spec := range []struct {
+		kind  distrib.Kind
+		sizes []int
+		label string
+	}{
+		{distrib.BlockKind, blockWidths, "w"},
+		{distrib.SLIKind, sliLines, "l"},
+	} {
+		for _, procs := range fig7Procs {
+			header := []string{"scene"}
+			for _, sz := range spec.sizes {
+				header = append(header, fmt.Sprintf("%s%d", spec.label, sz))
+			}
+			header = append(header, "best")
+			t := &stats.Table{
+				Caption: fmt.Sprintf("%d processors / %s: speedup (16 KB caches, %s texel/pixel bus)",
+					procs, spec.kind, stats.F(busRatio, 0)),
+				Header: header,
+			}
+			for _, n := range names {
+				row := []string{n}
+				bestSize, bestVal := 0, 0.0
+				for _, sz := range spec.sizes {
+					v := cells[cellKey{n, spec.kind, sz, procs}]
+					row = append(row, stats.F(v, 1))
+					if v > bestVal {
+						bestVal, bestSize = v, sz
+					}
+				}
+				row = append(row, fmt.Sprintf("%s%d", spec.label, bestSize))
+				t.AddRow(row...)
+			}
+			tables = append(tables, t)
+		}
+	}
+
+	return &Report{
+		ID:    id,
+		Title: title,
+		Notes: []string{
+			scaleNote(opt),
+			"expect: best block width ≈16 at every machine size; best SLI group shrinks as processors grow (≈16/8/4 lines at 4/16/64); block beats SLI at 64 processors, parity at 4–16",
+		},
+		Table: tables,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/raster"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// fig9Scenes are the three benchmark images the paper shows.
+var fig9Scenes = []string{"teapot.full", "room3", "quake"}
+
+// RunFig9 renders depth-complexity images of the Figure 9 scenes as PGM
+// files (bright = high overdraw) — the closest reproducible analogue of the
+// paper's benchmark screenshots — and reports per-scene overdraw statistics.
+func RunFig9(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	tab := &stats.Table{
+		Caption: "Depth-complexity maps",
+		Header:  []string{"scene", "file", "mean DC", "max DC", "P99 DC"},
+	}
+	var notes []string
+	for _, name := range fig9Scenes {
+		s, err := buildScene(name, opt)
+		if err != nil {
+			return nil, err
+		}
+		dc := DepthComplexityMap(s)
+		path := filepath.Join(opt.OutDir, fmt.Sprintf("%s_dc.pgm", s.Name))
+		if err := writePGM(path, dc, s.Screen.Width(), s.Screen.Height()); err != nil {
+			return nil, err
+		}
+		flat := make([]float64, len(dc))
+		for i, v := range dc {
+			flat[i] = float64(v)
+		}
+		sum := stats.Summarize(flat)
+		tab.AddRow(name, path, stats.F(sum.Mean, 2), stats.F(sum.Max, 0),
+			stats.F(stats.Percentile(flat, 99), 0))
+	}
+	notes = append(notes, scaleNote(opt),
+		"PGM brightness is proportional to per-pixel overdraw; hot spots appear as bright clusters")
+
+	return &Report{
+		ID:    "fig9-images",
+		Title: "Benchmark images (depth-complexity rendering)",
+		Notes: notes,
+		Table: []*stats.Table{tab},
+	}, nil
+}
+
+// WriteDepthPGM renders the scene's depth-complexity map to a binary PGM
+// file, brightness proportional to overdraw.
+func WriteDepthPGM(path string, s *trace.Scene) error {
+	return writePGM(path, DepthComplexityMap(s), s.Screen.Width(), s.Screen.Height())
+}
+
+// DepthComplexityMap rasterizes the scene once and returns the per-pixel
+// overdraw counts in row-major order.
+func DepthComplexityMap(s *trace.Scene) []uint16 {
+	w := s.Screen.Width()
+	counts := make([]uint16, w*s.Screen.Height())
+	r := raster.New(s.Screen)
+	for i := range s.Triangles {
+		r.ForEachSpan(s.Triangles[i], s.Screen, func(sp raster.Span) {
+			row := (sp.Y - s.Screen.Y0) * w
+			for x := sp.X0; x < sp.X1; x++ {
+				idx := row + x - s.Screen.X0
+				if counts[idx] < ^uint16(0) {
+					counts[idx]++
+				}
+			}
+		})
+	}
+	return counts
+}
+
+// writePGM writes an 8-bit binary PGM, normalizing counts to the full gray
+// range.
+func writePGM(path string, counts []uint16, w, h int) error {
+	var maxV uint16 = 1
+	for _, c := range counts {
+		if c > maxV {
+			maxV = c
+		}
+	}
+	buf := make([]byte, 0, len(counts)+32)
+	buf = append(buf, []byte(fmt.Sprintf("P5\n%d %d\n255\n", w, h))...)
+	for _, c := range counts {
+		buf = append(buf, byte(int(c)*255/int(maxV)))
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

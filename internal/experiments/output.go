@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits every table of the report as RFC-4180 CSV. Tables are
+// separated by a comment-style row carrying the caption (spreadsheet tools
+// skip or show it harmlessly), so one file carries a whole experiment.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for ti, t := range r.Table {
+		if ti > 0 {
+			if err := cw.Write([]string{""}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{fmt.Sprintf("# %s — %s", r.ID, t.Caption)}); err != nil {
+			return err
+		}
+		if err := cw.Write(t.Header); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the stable machine-readable shape of a Report.
+type jsonReport struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Notes  []string    `json:"notes,omitempty"`
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+// WriteJSON emits the report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	out := jsonReport{ID: r.ID, Title: r.Title, Notes: r.Notes}
+	for _, t := range r.Table {
+		out.Tables = append(out.Tables, jsonTable{
+			Caption: t.Caption,
+			Header:  t.Header,
+			Rows:    t.Rows,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleReport() *Report {
+	t1 := &stats.Table{Caption: "first", Header: []string{"a", "b"}}
+	t1.AddRow("1", "2")
+	t1.AddRow("3", "4")
+	t2 := &stats.Table{Caption: "second", Header: []string{"x"}}
+	t2.AddRow("y")
+	return &Report{
+		ID:    "sample",
+		Title: "Sample report",
+		Notes: []string{"a note"},
+		Table: []*stats.Table{t1, t2},
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("output not valid CSV: %v", err)
+	}
+	// caption, header, 2 rows, caption, header, 1 row = 7 records (the
+	// blank separator line is skipped by csv.Reader).
+	if len(records) != 7 {
+		t.Fatalf("got %d records: %v", len(records), records)
+	}
+	if !strings.HasPrefix(records[0][0], "# sample — first") {
+		t.Errorf("caption record = %v", records[0])
+	}
+	if records[1][0] != "a" || records[2][1] != "2" || records[3][0] != "3" {
+		t.Errorf("data records wrong: %v", records[1:4])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleReport().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if got.ID != "sample" || got.Title != "Sample report" || len(got.Notes) != 1 {
+		t.Errorf("header fields wrong: %+v", got)
+	}
+	if len(got.Tables) != 2 || got.Tables[0].Caption != "first" ||
+		len(got.Tables[0].Rows) != 2 || got.Tables[1].Rows[0][0] != "y" {
+		t.Errorf("tables wrong: %+v", got.Tables)
+	}
+}

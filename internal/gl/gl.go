@@ -1,0 +1,252 @@
+// Package gl is a minimal immediate-mode command stream in the style of the
+// OpenGL 1.x API the paper targets. The paper's traces were captured by
+// instrumenting Mesa underneath applications that issue Begin/End primitive
+// batches with per-vertex texture coordinates, in strict submission order;
+// this package is that capture layer: applications (or scene generators)
+// draw through it and the recorder emits the trace.Scene the simulator
+// consumes, preserving submission order exactly.
+//
+// Only what the texture-mapping study needs is implemented: triangles,
+// triangle strips, triangle fans and quads, one active 2-D texture, and
+// unnormalized texel coordinates. Transformation, lighting and clipping
+// happen upstream (the paper's geometry stage is ideal), so vertices are in
+// screen space already.
+package gl
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+// Primitive selects the Begin/End assembly mode.
+type Primitive int
+
+const (
+	// Triangles assembles every three vertices into one triangle.
+	Triangles Primitive = iota
+	// TriangleStrip assembles vertices v0 v1 v2, v1 v3 v2 (wound
+	// consistently), v2 v3 v4, ...
+	TriangleStrip
+	// TriangleFan assembles v0 v1 v2, v0 v2 v3, ...
+	TriangleFan
+	// Quads assembles every four vertices into two triangles.
+	Quads
+)
+
+// String names the primitive mode.
+func (p Primitive) String() string {
+	switch p {
+	case Triangles:
+		return "GL_TRIANGLES"
+	case TriangleStrip:
+		return "GL_TRIANGLE_STRIP"
+	case TriangleFan:
+		return "GL_TRIANGLE_FAN"
+	case Quads:
+		return "GL_QUADS"
+	default:
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+}
+
+// vertex is one submitted vertex: screen position and texel coordinates.
+type vertex struct {
+	pos geom.Vec2
+	tex geom.Vec2
+}
+
+// Context records an immediate-mode command stream into a trace.Scene.
+// Errors are sticky: the first misuse (Begin inside Begin, vertex outside
+// Begin, unbound texture, non-affine texture mapping) is reported by Scene
+// and further commands are ignored, mirroring how GL records GL_INVALID_*.
+type Context struct {
+	scene    *trace.Scene
+	err      error
+	inBegin  bool
+	mode     Primitive
+	verts    []vertex
+	texBound int32
+	texSet   bool
+	curTex   geom.Vec2
+}
+
+// NewContext opens a recording context for the given screen.
+func NewContext(name string, screen geom.Rect) *Context {
+	return &Context{
+		scene:    &trace.Scene{Name: name, Screen: screen},
+		texBound: -1,
+	}
+}
+
+// GenTexture registers a texture of the given power-of-two size and returns
+// its name (index).
+func (c *Context) GenTexture(w, h int) int32 {
+	if c.err != nil {
+		return -1
+	}
+	if w <= 0 || h <= 0 || w&(w-1) != 0 || h&(h-1) != 0 {
+		c.fail("GenTexture: dimensions %dx%d not powers of two", w, h)
+		return -1
+	}
+	c.scene.Textures = append(c.scene.Textures, trace.TexSize{W: w, H: h})
+	return int32(len(c.scene.Textures) - 1)
+}
+
+// BindTexture selects the texture sampled by subsequent primitives. Binding
+// is not allowed inside Begin/End, as in GL.
+func (c *Context) BindTexture(id int32) {
+	if c.err != nil {
+		return
+	}
+	if c.inBegin {
+		c.fail("BindTexture inside Begin/End")
+		return
+	}
+	if id < 0 || int(id) >= len(c.scene.Textures) {
+		c.fail("BindTexture: unknown texture %d", id)
+		return
+	}
+	c.texBound = id
+}
+
+// Begin opens a primitive batch.
+func (c *Context) Begin(mode Primitive) {
+	if c.err != nil {
+		return
+	}
+	if c.inBegin {
+		c.fail("Begin inside Begin/End")
+		return
+	}
+	if mode < Triangles || mode > Quads {
+		c.fail("Begin: invalid mode %d", int(mode))
+		return
+	}
+	if c.texBound < 0 {
+		c.fail("Begin: no texture bound")
+		return
+	}
+	c.inBegin = true
+	c.mode = mode
+	c.verts = c.verts[:0]
+}
+
+// TexCoord2f sets the texel coordinate attached to subsequent vertices
+// (unnormalized texels, wrap addressing).
+func (c *Context) TexCoord2f(u, v float64) {
+	c.curTex = geom.Vec2{X: u, Y: v}
+	c.texSet = true
+}
+
+// Vertex2f submits a screen-space vertex with the current texture
+// coordinate.
+func (c *Context) Vertex2f(x, y float64) {
+	if c.err != nil {
+		return
+	}
+	if !c.inBegin {
+		c.fail("Vertex2f outside Begin/End")
+		return
+	}
+	if !c.texSet {
+		c.fail("Vertex2f before any TexCoord2f")
+		return
+	}
+	c.verts = append(c.verts, vertex{pos: geom.Vec2{X: x, Y: y}, tex: c.curTex})
+}
+
+// End closes the batch, assembling and recording its triangles. Incomplete
+// trailing vertices are dropped, as in GL.
+func (c *Context) End() {
+	if c.err != nil {
+		return
+	}
+	if !c.inBegin {
+		c.fail("End outside Begin/End")
+		return
+	}
+	c.inBegin = false
+	v := c.verts
+	emit := func(a, b, d vertex) {
+		if c.err == nil {
+			c.emitTriangle(a, b, d)
+		}
+	}
+	switch c.mode {
+	case Triangles:
+		for i := 0; i+2 < len(v); i += 3 {
+			emit(v[i], v[i+1], v[i+2])
+		}
+	case TriangleStrip:
+		for i := 0; i+2 < len(v); i++ {
+			if i%2 == 0 {
+				emit(v[i], v[i+1], v[i+2])
+			} else {
+				emit(v[i+1], v[i], v[i+2])
+			}
+		}
+	case TriangleFan:
+		for i := 1; i+1 < len(v); i++ {
+			emit(v[0], v[i], v[i+1])
+		}
+	case Quads:
+		for i := 0; i+3 < len(v); i += 4 {
+			emit(v[i], v[i+1], v[i+2])
+			emit(v[i], v[i+2], v[i+3])
+		}
+	}
+}
+
+// emitTriangle solves the affine texture mapping from the three vertices'
+// texture coordinates and appends the triangle to the scene.
+func (c *Context) emitTriangle(a, b, d vertex) {
+	tri := geom.Triangle{V: [3]geom.Vec2{a.pos, b.pos, d.pos}, TexID: c.texBound}
+	if tri.Degenerate() {
+		return // zero-area triangles rasterize to nothing; GL accepts them
+	}
+	// Solve u(x,y) = U0 + DuDx·x + DuDy·y through the three vertices (and
+	// likewise v). The 2×2 system uses the triangle's edge vectors.
+	e1 := b.pos.Sub(a.pos)
+	e2 := d.pos.Sub(a.pos)
+	det := e1.Cross(e2)
+	du1 := b.tex.X - a.tex.X
+	du2 := d.tex.X - a.tex.X
+	dv1 := b.tex.Y - a.tex.Y
+	dv2 := d.tex.Y - a.tex.Y
+	m := geom.TexMap{
+		DuDx: (du1*e2.Y - du2*e1.Y) / det,
+		DuDy: (du2*e1.X - du1*e2.X) / det,
+		DvDx: (dv1*e2.Y - dv2*e1.Y) / det,
+		DvDy: (dv2*e1.X - dv1*e2.X) / det,
+	}
+	m.U0 = a.tex.X - m.DuDx*a.pos.X - m.DuDy*a.pos.Y
+	m.V0 = a.tex.Y - m.DvDx*a.pos.X - m.DvDy*a.pos.Y
+	tri.Tex = m
+	c.scene.Triangles = append(c.scene.Triangles, tri)
+}
+
+// Err returns the first recording error, if any.
+func (c *Context) Err() error { return c.err }
+
+// Scene finalizes the recording and returns the trace, or the first
+// recording/validation error.
+func (c *Context) Scene() (*trace.Scene, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.inBegin {
+		return nil, fmt.Errorf("gl: Scene called inside Begin/End")
+	}
+	if err := c.scene.Validate(); err != nil {
+		return nil, err
+	}
+	return c.scene, nil
+}
+
+func (c *Context) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("gl: "+format, args...)
+	}
+}

@@ -1,0 +1,256 @@
+package gl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/trace"
+)
+
+var screen = geom.Rect{X0: 0, Y0: 0, X1: 256, Y1: 256}
+
+func newCtx(t *testing.T) (*Context, int32) {
+	t.Helper()
+	c := NewContext("gltest", screen)
+	tex := c.GenTexture(64, 64)
+	c.BindTexture(tex)
+	return c, tex
+}
+
+func TestTrianglesAssembly(t *testing.T) {
+	c, _ := newCtx(t)
+	c.Begin(Triangles)
+	c.TexCoord2f(0, 0)
+	c.Vertex2f(0, 0)
+	c.TexCoord2f(32, 0)
+	c.Vertex2f(32, 0)
+	c.TexCoord2f(0, 32)
+	c.Vertex2f(0, 32)
+	// A trailing incomplete pair must be dropped.
+	c.TexCoord2f(0, 0)
+	c.Vertex2f(100, 100)
+	c.Vertex2f(120, 100)
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Triangles) != 1 {
+		t.Fatalf("got %d triangles, want 1", len(s.Triangles))
+	}
+}
+
+func TestStripAssemblyAndWinding(t *testing.T) {
+	c, _ := newCtx(t)
+	c.Begin(TriangleStrip)
+	pts := [][2]float64{{0, 0}, {10, 0}, {0, 10}, {10, 10}, {0, 20}, {10, 20}}
+	for _, p := range pts {
+		c.TexCoord2f(p[0], p[1])
+		c.Vertex2f(p[0], p[1])
+	}
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Triangles) != 4 {
+		t.Fatalf("strip of 6 vertices gave %d triangles, want 4", len(s.Triangles))
+	}
+	// Total area must equal the swept rectangle 10x20.
+	var area float64
+	for _, tr := range s.Triangles {
+		area += tr.Area()
+	}
+	if math.Abs(area-200) > 1e-9 {
+		t.Errorf("strip area = %v, want 200", area)
+	}
+}
+
+func TestFanAssembly(t *testing.T) {
+	c, _ := newCtx(t)
+	c.Begin(TriangleFan)
+	c.TexCoord2f(0, 0)
+	c.Vertex2f(50, 50) // hub
+	for _, p := range [][2]float64{{100, 50}, {100, 100}, {50, 100}, {0, 100}} {
+		c.TexCoord2f(p[0], p[1])
+		c.Vertex2f(p[0], p[1])
+	}
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Triangles) != 3 {
+		t.Fatalf("fan of 5 vertices gave %d triangles, want 3", len(s.Triangles))
+	}
+	for _, tr := range s.Triangles {
+		if tr.V[0] != (geom.Vec2{X: 50, Y: 50}) {
+			t.Error("fan hub not shared")
+		}
+	}
+}
+
+func TestQuadAssembly(t *testing.T) {
+	c, _ := newCtx(t)
+	c.Begin(Quads)
+	for _, p := range [][2]float64{{0, 0}, {16, 0}, {16, 16}, {0, 16}} {
+		c.TexCoord2f(p[0], p[1])
+		c.Vertex2f(p[0], p[1])
+	}
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Triangles) != 2 {
+		t.Fatalf("quad gave %d triangles, want 2", len(s.Triangles))
+	}
+	if s.Triangles[0].Area()+s.Triangles[1].Area() != 256 {
+		t.Error("quad area wrong")
+	}
+}
+
+func TestAffineSolveRoundTrip(t *testing.T) {
+	// The solved TexMap must reproduce the submitted per-vertex coordinates
+	// exactly, for a non-trivial (rotated, scaled, offset) mapping.
+	c, _ := newCtx(t)
+	verts := [][4]float64{ // x, y, u, v
+		{10, 20, 5, 7},
+		{90, 35, 37, 12},
+		{40, 110, 14, 55},
+	}
+	c.Begin(Triangles)
+	for _, v := range verts {
+		c.TexCoord2f(v[2], v[3])
+		c.Vertex2f(v[0], v[1])
+	}
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Triangles[0].Tex
+	for _, v := range verts {
+		got := m.At(v[0], v[1])
+		if math.Abs(got.X-v[2]) > 1e-9 || math.Abs(got.Y-v[3]) > 1e-9 {
+			t.Errorf("texmap at (%v,%v) = %v, want (%v,%v)", v[0], v[1], got, v[2], v[3])
+		}
+	}
+}
+
+func TestDegenerateTriangleDropped(t *testing.T) {
+	c, _ := newCtx(t)
+	c.Begin(Triangles)
+	for _, p := range [][2]float64{{0, 0}, {10, 10}, {20, 20}} { // collinear
+		c.TexCoord2f(p[0], p[1])
+		c.Vertex2f(p[0], p[1])
+	}
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Triangles) != 0 {
+		t.Errorf("degenerate triangle recorded")
+	}
+}
+
+func TestMisuseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		do   func(c *Context, tex int32)
+		want string
+	}{
+		{"begin-in-begin", func(c *Context, _ int32) { c.Begin(Triangles); c.Begin(Quads) }, "Begin inside"},
+		{"vertex-outside", func(c *Context, _ int32) { c.TexCoord2f(0, 0); c.Vertex2f(1, 1) }, "outside Begin"},
+		{"bind-in-begin", func(c *Context, tex int32) { c.Begin(Triangles); c.BindTexture(tex) }, "BindTexture inside"},
+		{"bad-texture", func(c *Context, _ int32) { c.BindTexture(99) }, "unknown texture"},
+		{"end-outside", func(c *Context, _ int32) { c.End() }, "End outside"},
+		{"vertex-before-texcoord", func(c *Context, _ int32) { c.Begin(Triangles); c.Vertex2f(1, 1) }, "before any TexCoord"},
+		{"bad-mode", func(c *Context, _ int32) { c.Begin(Primitive(42)) }, "invalid mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, tex := newCtx(t)
+			tc.do(c, tex)
+			_, err := c.Scene()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBeginWithoutTexture(t *testing.T) {
+	c := NewContext("x", screen)
+	c.Begin(Triangles)
+	if _, err := c.Scene(); err == nil {
+		t.Error("Begin without bound texture accepted")
+	}
+}
+
+func TestSceneInsideBegin(t *testing.T) {
+	c, _ := newCtx(t)
+	c.Begin(Triangles)
+	if _, err := c.Scene(); err == nil {
+		t.Error("Scene inside Begin/End accepted")
+	}
+}
+
+func TestStickyErrorSuppressesLater(t *testing.T) {
+	c, _ := newCtx(t)
+	c.End() // error
+	c.Begin(Triangles)
+	c.TexCoord2f(0, 0)
+	c.Vertex2f(0, 0)
+	c.Vertex2f(10, 0)
+	c.Vertex2f(0, 10)
+	c.End()
+	if _, err := c.Scene(); err == nil {
+		t.Error("sticky error cleared")
+	}
+}
+
+func TestGenTextureValidation(t *testing.T) {
+	c := NewContext("x", screen)
+	if id := c.GenTexture(48, 64); id != -1 || c.Err() == nil {
+		t.Error("non-pow2 texture accepted")
+	}
+}
+
+func TestRecordedSceneSimulatable(t *testing.T) {
+	// End-to-end: a recorded strip must measure and draw like a hand-built
+	// scene.
+	c, _ := newCtx(t)
+	c.Begin(TriangleStrip)
+	for i := 0; i <= 16; i++ {
+		x := float64(i) * 8
+		c.TexCoord2f(x, 0)
+		c.Vertex2f(x, 0)
+		c.TexCoord2f(x, 32)
+		c.Vertex2f(x, 32)
+	}
+	c.End()
+	s, err := c.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := trace.Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PixelsRendered != 128*32 {
+		t.Errorf("recorded strip rendered %d pixels, want %d", st.PixelsRendered, 128*32)
+	}
+}
+
+func TestPrimitiveString(t *testing.T) {
+	if Triangles.String() != "GL_TRIANGLES" || Quads.String() != "GL_QUADS" {
+		t.Error("primitive names wrong")
+	}
+	if !strings.Contains(Primitive(9).String(), "9") {
+		t.Error("unknown primitive name wrong")
+	}
+}

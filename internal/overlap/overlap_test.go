@@ -1,0 +1,160 @@
+package overlap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/distrib"
+	"repro/internal/geom"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+func TestTilesTouchedFormula(t *testing.T) {
+	// A point triangle touches 1 tile in expectation; a tile-sized box
+	// touches 4 (2×2, from straddling both boundaries half the time... the
+	// Chen expectation is exactly (1+1)(1+1)).
+	if got := TilesTouched(0.0001, 0.0001, 16, 16); math.Abs(got-1) > 0.01 {
+		t.Errorf("point overlap = %v, want ≈1", got)
+	}
+	if got := TilesTouched(16, 16, 16, 16); got != 4 {
+		t.Errorf("tile-sized overlap = %v, want 4", got)
+	}
+	if got := TilesTouched(32, 8, 16, 16); got != 3*1.5 {
+		t.Errorf("2x0.5-tile overlap = %v, want 4.5", got)
+	}
+	if got := TilesTouched(-1, 4, 16, 16); got != 0 {
+		t.Errorf("negative box overlap = %v, want 0", got)
+	}
+}
+
+func TestTilesTouchedMatchesMonteCarlo(t *testing.T) {
+	// The formula is an expectation over uniform placements: verify by
+	// Monte Carlo for a few box/tile combinations.
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct{ bw, bh, tw, th float64 }{
+		{10, 10, 16, 16},
+		{40, 7, 16, 16},
+		{3, 60, 32, 8},
+	}
+	for _, c := range cases {
+		const trials = 20000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			x0 := rng.Float64() * c.tw
+			y0 := rng.Float64() * c.th
+			tilesX := math.Floor((x0+c.bw)/c.tw) - math.Floor(x0/c.tw) + 1
+			tilesY := math.Floor((y0+c.bh)/c.th) - math.Floor(y0/c.th) + 1
+			sum += tilesX * tilesY
+		}
+		got := sum / trials
+		want := TilesTouched(c.bw, c.bh, c.tw, c.th)
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("case %+v: Monte Carlo %v vs formula %v", c, got, want)
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := &trace.Scene{
+		Name:     "x",
+		Screen:   geom.Rect{X1: 64, Y1: 64},
+		Textures: []trace.TexSize{{W: 16, H: 16}},
+		Triangles: []geom.Triangle{{
+			V:   [3]geom.Vec2{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}},
+			Tex: geom.TexMap{DuDx: 1, DvDy: 1},
+		}},
+	}
+	if _, err := Predict(s, distrib.BlockKind, 0, 16, 25); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := Predict(s, distrib.Kind(9), 4, 16, 25); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	p, err := Predict(s, distrib.BlockKind, 4, 16, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MeanOverlap < 1 || p.SetupFraction <= 0 || p.SetupFraction >= 1 {
+		t.Errorf("prediction = %+v", p)
+	}
+}
+
+func TestPredictTracksMeasured(t *testing.T) {
+	// On a real benchmark scene the analytical mean routed count must track
+	// the measured one within ~25 % across tile sizes, and both must grow as
+	// tiles shrink.
+	b, err := scene.ByName("massive11255", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.MustBuild()
+	const procs = 64
+	var lastMeasured float64
+	for _, size := range []int{64, 16, 4} {
+		d, err := distrib.NewBlock(s.Screen, procs, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, measured := MeasureRouted(s, d)
+		pred, err := Predict(s, distrib.BlockKind, procs, size, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(pred.MeanRouted-measured) / measured; rel > 0.25 {
+			t.Errorf("block-%d: predicted %v vs measured %v (%.0f%% off)",
+				size, pred.MeanRouted, measured, rel*100)
+		}
+		if lastMeasured != 0 && measured <= lastMeasured {
+			t.Errorf("block-%d: overlap did not grow as tiles shrank", size)
+		}
+		lastMeasured = measured
+	}
+}
+
+func TestPredictSLI(t *testing.T) {
+	b, err := scene.ByName("truc640", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.MustBuild()
+	const procs = 16
+	for _, lines := range []int{1, 8} {
+		d, err := distrib.NewSLI(s.Screen, procs, lines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, measured := MeasureRouted(s, d)
+		pred, err := Predict(s, distrib.SLIKind, procs, lines, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(pred.MeanRouted-measured) / measured; rel > 0.25 {
+			t.Errorf("sli-%d: predicted %v vs measured %v", lines, pred.MeanRouted, measured)
+		}
+	}
+}
+
+func TestSetupFractionGrowsWithSmallTiles(t *testing.T) {
+	b, err := scene.ByName("32massive11255", 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.MustBuild()
+	p1, err := Predict(s, distrib.BlockKind, 64, 1, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p64, err := Predict(s, distrib.BlockKind, 64, 64, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.SetupFraction <= p64.SetupFraction {
+		t.Errorf("setup fraction did not grow: w1 %v vs w64 %v",
+			p1.SetupFraction, p64.SetupFraction)
+	}
+	if p1.SetupFraction < 0.3 {
+		t.Errorf("w1 setup fraction %v suspiciously low", p1.SetupFraction)
+	}
+}

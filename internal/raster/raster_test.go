@@ -1,0 +1,268 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+var screen = geom.Rect{X0: 0, Y0: 0, X1: 64, Y1: 64}
+
+func tri(x0, y0, x1, y1, x2, y2 float64) geom.Triangle {
+	return geom.Triangle{V: [3]geom.Vec2{{X: x0, Y: y0}, {X: x1, Y: y1}, {X: x2, Y: y2}}}
+}
+
+func TestAxisAlignedRightTriangle(t *testing.T) {
+	r := New(screen)
+	// Right triangle covering the lower-left half of a 10x10 square.
+	tr := tri(0, 0, 0, 10, 10, 10)
+	got := r.PixelCount(tr, screen)
+	// A half-square of area 50 should cover ~50 pixels; the diagonal pixels
+	// are split by the fill rule. Analytically the count is exactly 45 or 55
+	// depending on which side owns the diagonal; accept the analytic band.
+	if got < 40 || got > 60 {
+		t.Errorf("pixel count = %d, want ≈50", got)
+	}
+}
+
+func TestFullSquareFromTwoTriangles(t *testing.T) {
+	// Two triangles forming an exact square must tile it: every pixel covered
+	// exactly once, total exactly the square area.
+	r := New(screen)
+	a := tri(4, 4, 20, 4, 4, 20)
+	b := tri(20, 4, 20, 20, 4, 20)
+	ca := r.CoverageMask(a, screen)
+	cb := r.CoverageMask(b, screen)
+	for p := range ca {
+		if cb[p] {
+			t.Fatalf("pixel %v drawn by both triangles sharing an edge", p)
+		}
+	}
+	total := len(ca) + len(cb)
+	if total != 16*16 {
+		t.Errorf("two-triangle square covers %d pixels, want 256", total)
+	}
+	// Verify every pixel of the square is covered by one of them.
+	for y := 4; y < 20; y++ {
+		for x := 4; x < 20; x++ {
+			p := [2]int{x, y}
+			if !ca[p] && !cb[p] {
+				t.Fatalf("pixel %v uncovered", p)
+			}
+		}
+	}
+}
+
+func TestSharedEdgeNeverDoubleDrawn(t *testing.T) {
+	// Fans of random triangles around a shared edge: property holds for any
+	// pair sharing an edge with opposite winding.
+	rng := rand.New(rand.NewSource(7))
+	r := New(screen)
+	for trial := 0; trial < 200; trial++ {
+		p0 := geom.Vec2{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		p1 := geom.Vec2{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		a := geom.Vec2{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		b := geom.Vec2{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		// a and b must be on opposite sides of edge p0-p1.
+		e := p1.Sub(p0)
+		if e.Cross(a.Sub(p0))*e.Cross(b.Sub(p0)) >= 0 {
+			continue
+		}
+		ta := geom.Triangle{V: [3]geom.Vec2{p0, p1, a}}
+		tb := geom.Triangle{V: [3]geom.Vec2{p1, p0, b}}
+		ma := r.CoverageMask(ta, screen)
+		mb := r.CoverageMask(tb, screen)
+		for p := range ma {
+			if mb[p] {
+				t.Fatalf("trial %d: pixel %v double-drawn across shared edge", trial, p)
+			}
+		}
+	}
+}
+
+func TestDegenerateTriangles(t *testing.T) {
+	r := New(screen)
+	cases := []geom.Triangle{
+		tri(5, 5, 5, 5, 5, 5),   // point
+		tri(0, 0, 10, 10, 5, 5), // collinear
+		tri(1, 1, 1, 1, 30, 40), // repeated vertex
+	}
+	for i, tr := range cases {
+		if got := r.PixelCount(tr, screen); got != 0 {
+			t.Errorf("degenerate case %d drew %d pixels", i, got)
+		}
+	}
+}
+
+func TestClippingToRegion(t *testing.T) {
+	r := New(screen)
+	tr := tri(0, 0, 40, 0, 0, 40)
+	full := r.CoverageMask(tr, screen)
+	clip := geom.Rect{X0: 10, Y0: 10, X1: 20, Y1: 20}
+	clipped := r.CoverageMask(tr, clip)
+	for p := range clipped {
+		if !clip.Contains(p[0], p[1]) {
+			t.Fatalf("clipped output pixel %v outside clip", p)
+		}
+		if !full[p] {
+			t.Fatalf("clipped output pixel %v not in full rasterization", p)
+		}
+	}
+	// Every full-raster pixel inside the clip must appear in the clipped set.
+	for p := range full {
+		if clip.Contains(p[0], p[1]) && !clipped[p] {
+			t.Fatalf("pixel %v lost by clipping", p)
+		}
+	}
+}
+
+func TestClipUnionProperty(t *testing.T) {
+	// Partitioning the screen into four quadrant clips and rasterizing into
+	// each must reproduce the unclipped coverage exactly.
+	f := func(coords [6]uint8) bool {
+		tr := tri(
+			float64(coords[0]%64), float64(coords[1]%64),
+			float64(coords[2]%64), float64(coords[3]%64),
+			float64(coords[4]%64), float64(coords[5]%64),
+		)
+		r := New(screen)
+		full := r.CoverageMask(tr, screen)
+		quads := []geom.Rect{
+			{X0: 0, Y0: 0, X1: 32, Y1: 32},
+			{X0: 32, Y0: 0, X1: 64, Y1: 32},
+			{X0: 0, Y0: 32, X1: 32, Y1: 64},
+			{X0: 32, Y0: 32, X1: 64, Y1: 64},
+		}
+		union := make(map[[2]int]bool)
+		for _, q := range quads {
+			for p := range r.CoverageMask(tr, q) {
+				if union[p] {
+					return false // quadrants overlap: impossible
+				}
+				union[p] = true
+			}
+		}
+		if len(union) != len(full) {
+			return false
+		}
+		for p := range full {
+			if !union[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPixelCountApproximatesArea(t *testing.T) {
+	// For large random triangles the pixel count must converge to the area.
+	rng := rand.New(rand.NewSource(11))
+	big := geom.Rect{X0: 0, Y0: 0, X1: 1024, Y1: 1024}
+	r := New(big)
+	for trial := 0; trial < 30; trial++ {
+		tr := geom.Triangle{V: [3]geom.Vec2{
+			{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+			{X: rng.Float64() * 1000, Y: rng.Float64() * 1000},
+		}}
+		area := tr.Area()
+		if area < 5000 {
+			continue
+		}
+		got := float64(r.PixelCount(tr, big))
+		// Perimeter-order error bound.
+		perim := tr.V[0].Sub(tr.V[1]).Len() + tr.V[1].Sub(tr.V[2]).Len() + tr.V[2].Sub(tr.V[0]).Len()
+		if math.Abs(got-area) > perim+16 {
+			t.Errorf("trial %d: count %f vs area %f (perim %f)", trial, got, area, perim)
+		}
+	}
+}
+
+func TestSpansInScanOrder(t *testing.T) {
+	r := New(screen)
+	tr := tri(2, 2, 50, 10, 10, 55)
+	lastY := -1
+	r.ForEachSpan(tr, screen, func(s Span) {
+		if s.Y <= lastY {
+			t.Fatalf("span rows out of order: %d after %d", s.Y, lastY)
+		}
+		if s.X0 >= s.X1 {
+			t.Fatalf("empty span emitted at row %d", s.Y)
+		}
+		lastY = s.Y
+	})
+}
+
+func TestCoverageInsideTriangle(t *testing.T) {
+	// Every reported pixel center must be inside (or on the boundary of) the
+	// triangle; every clearly-interior center must be reported.
+	rng := rand.New(rand.NewSource(3))
+	r := New(screen)
+	for trial := 0; trial < 100; trial++ {
+		tr := geom.Triangle{V: [3]geom.Vec2{
+			{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+			{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+			{X: rng.Float64() * 60, Y: rng.Float64() * 60},
+		}}
+		if tr.Area() < 4 {
+			continue
+		}
+		mask := r.CoverageMask(tr, screen)
+		bb := tr.BBox().Intersect(screen)
+		for y := bb.Y0; y < bb.Y1; y++ {
+			for x := bb.X0; x < bb.X1; x++ {
+				d := signedDistToTri(tr, float64(x)+0.5, float64(y)+0.5)
+				covered := mask[[2]int{x, y}]
+				if d > 0.01 && !covered {
+					t.Fatalf("trial %d: interior pixel (%d,%d) d=%f not covered", trial, x, y, d)
+				}
+				if d < -0.01 && covered {
+					t.Fatalf("trial %d: exterior pixel (%d,%d) d=%f covered", trial, x, y, d)
+				}
+			}
+		}
+	}
+}
+
+// signedDistToTri returns a conservative inside(+)/outside(-) measure: the
+// minimum over edges of the point's signed distance to the edge line.
+func signedDistToTri(t geom.Triangle, x, y float64) float64 {
+	v := t.V
+	if t.SignedArea() < 0 {
+		v[1], v[2] = v[2], v[1]
+	}
+	best := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		p, q := v[i], v[(i+1)%3]
+		e := q.Sub(p)
+		n := e.Len()
+		if n == 0 {
+			return -1
+		}
+		d := e.Cross(geom.Vec2{X: x, Y: y}.Sub(p)) / n
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func BenchmarkRasterizeLargeTriangle(b *testing.B) {
+	big := geom.Rect{X0: 0, Y0: 0, X1: 2048, Y1: 2048}
+	r := New(big)
+	tr := tri(10, 10, 2000, 50, 500, 2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		r.ForEachSpan(tr, big, func(s Span) { n += s.Width() })
+		if n == 0 {
+			b.Fatal("no pixels")
+		}
+	}
+}

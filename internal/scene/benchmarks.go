@@ -1,0 +1,143 @@
+package scene
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Target is one row of the paper's Table 1: the published characteristics a
+// synthesized scene is tuned to reproduce.
+type Target struct {
+	Name            string
+	Width, Height   int
+	MPixels         float64 // pixels rendered, millions
+	DepthComplexity float64
+	Triangles       int
+	Textures        int
+	TextureMB       float64 // paper's value; see note on texel size below
+	UniqueTexelFrag float64
+}
+
+// Table1 holds the published benchmark characteristics verbatim.
+//
+// Note on TextureMB: the paper's texture sizes are only mutually consistent
+// with its unique-texel ratios if its traces stored ~16-bit texels (e.g.
+// quake: 5.2 MB of textures cannot contain the 2.6 M unique 4-byte texels a
+// 1.3 ratio over 2 M fragments requires). Our textures always hold the
+// 4-byte texels the cache specification uses, so our footprints in bytes run
+// ~2-4× the paper's MB column while matching its *texel counts*; the ratio
+// column — what the cache experiments depend on — is matched directly.
+var Table1 = []Target{
+	{"room3", 1280, 1024, 13, 9.9, 163000, 24, 1.5, 0.28},
+	{"teapot.full", 1280, 1024, 2.8, 2.1, 10000, 1, 6, 1.13},
+	{"quake", 1152, 870, 2, 1.9, 7400, 954, 5.2, 1.3},
+	{"massive11255", 1600, 1200, 8, 4.1, 13000, 1055, 1, 0.13},
+	{"32massive11255", 1600, 1200, 8, 4.1, 13000, 1055, 3.4, 0.42},
+	{"blowout775", 1600, 1200, 5.9, 3, 5947, 1778, 0.8, 0.1},
+	{"truc640", 1600, 1200, 8.3, 4.3, 12195, 1530, 1.2, 0.15},
+}
+
+// Benchmark couples a Table 1 target with the synthesizer parameters tuned
+// to hit it.
+type Benchmark struct {
+	Target Target
+	Params Params
+}
+
+// Benchmarks returns the seven paper scenes in Table 1 order, parameterized
+// at the given resolution scale (1 = the paper's full frames; benchmarks and
+// quick tests use 0.25–0.5).
+func Benchmarks(scale float64) []Benchmark {
+	mk := func(t Target, p Params) Benchmark {
+		p.Name = t.Name
+		p.Width = t.Width
+		p.Height = t.Height
+		p.Triangles = t.Triangles
+		p.DepthComplexity = t.DepthComplexity
+		p.Textures = t.Textures
+		p.Scale = scale
+		return Benchmark{Target: t, Params: p}
+	}
+	return []Benchmark{
+		// room3: architectural micro-benchmark from [Vartanian et al. 98] —
+		// extreme overdraw (DC 9.9), very fine tessellation (80 px/triangle),
+		// few large wall textures tiled heavily (unique 0.28).
+		mk(Table1[0], Params{
+			Seed: 1003, TexSize: 512, TexelDensity: 0.66, FreshFraction: 0.50,
+			HotSpots: 6, HotSpotShare: 0.35, PatchSide: 110,
+		}),
+		// teapot.full: a single tessellated object with one huge texture
+		// mapped almost entirely uniquely (unique 1.13) — the cache-hostile
+		// extreme of Figure 6.
+		mk(Table1[1], Params{
+			Seed: 1013, TexSize: 2048, TexelDensity: 1.03, FreshFraction: 0.97,
+			HotSpots: 1, HotSpotShare: 0.45,
+		}),
+		// quake: Quake1 bigass1 demo frame, magnified ×4 — many small
+		// textures sampled near 1 texel/pixel, little reuse (unique 1.3).
+		mk(Table1[2], Params{
+			Seed: 1023, TexSize: 64, TexelDensity: 1.55, FreshFraction: 0.92,
+			HotSpots: 4, HotSpotShare: 0.25, PatchSide: 60,
+		}),
+		// massive11255: the SPEC Quake2 network demo's most complex frame,
+		// magnified ×2 only — textures still mostly magnified (density ≪ 1),
+		// hence the lowest unique ratios of the suite.
+		mk(Table1[3], Params{
+			Seed: 1033, TexSize: 32, TexelDensity: 0.44, FreshFraction: 0.80,
+			HotSpots: 8, HotSpotShare: 0.40, PatchSide: 75,
+		}),
+		// 32massive11255: the same frame magnified ×32 — the "future
+		// texture detail" variant; density and texture sizes roughly double.
+		mk(Table1[4], Params{
+			Seed: 1033, TexSize: 64, TexelDensity: 0.80, FreshFraction: 0.80,
+			HotSpots: 8, HotSpotShare: 0.40, PatchSide: 75,
+		}),
+		// blowout775: Half-Life demo frame — the smallest texture working
+		// set (unique 0.1); the scene whose aggregate-cache effect the paper
+		// notes at high processor counts.
+		mk(Table1[5], Params{
+			Seed: 1043, TexSize: 16, TexelDensity: 0.50, FreshFraction: 0.78,
+			HotSpots: 6, HotSpotShare: 0.20, PatchSide: 58,
+		}),
+		// truc640: Half-Life demo frame, heavier than blowout775.
+		mk(Table1[6], Params{
+			Seed: 1053, TexSize: 32, TexelDensity: 0.48, FreshFraction: 0.80,
+			HotSpots: 8, HotSpotShare: 0.40, PatchSide: 70,
+		}),
+	}
+}
+
+// ByName returns the named benchmark at the given scale.
+func ByName(name string, scale float64) (Benchmark, error) {
+	for _, b := range Benchmarks(scale) {
+		if b.Target.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("scene: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in Table 1 order.
+func Names() []string {
+	names := make([]string, len(Table1))
+	for i, t := range Table1 {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Build generates the benchmark's scene.
+func (b Benchmark) Build() (*trace.Scene, error) {
+	return Generate(b.Params)
+}
+
+// MustBuild generates the scene and panics on error; for tests and examples
+// with known-good parameters.
+func (b Benchmark) MustBuild() *trace.Scene {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

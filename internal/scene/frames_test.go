@@ -1,0 +1,92 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTranslatePreservesTexels(t *testing.T) {
+	b, err := ByName("quake", 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.MustBuild()
+	shifted := Translate(s, 17, -5)
+	if len(shifted.Triangles) != len(s.Triangles) {
+		t.Fatal("triangle count changed")
+	}
+	// For every triangle, the texel coordinate at the (shifted) vertex must
+	// equal the original one at the original vertex.
+	for i := range s.Triangles {
+		orig := s.Triangles[i]
+		moved := shifted.Triangles[i]
+		for j := range orig.V {
+			a := orig.Tex.At(orig.V[j].X, orig.V[j].Y)
+			b := moved.Tex.At(moved.V[j].X, moved.V[j].Y)
+			if math.Abs(a.X-b.X) > 1e-9 || math.Abs(a.Y-b.Y) > 1e-9 {
+				t.Fatalf("triangle %d vertex %d: texel %v moved to %v", i, j, a, b)
+			}
+		}
+	}
+	// The original scene must be untouched.
+	if s.Triangles[0].V[0] == shifted.Triangles[0].V[0] {
+		t.Error("Translate mutated or aliased the input")
+	}
+}
+
+func TestTranslateZeroIsIdentityGeometry(t *testing.T) {
+	b, _ := ByName("blowout775", 0.2)
+	s := b.MustBuild()
+	z := Translate(s, 0, 0)
+	for i := range s.Triangles {
+		if z.Triangles[i] != s.Triangles[i] {
+			t.Fatalf("zero translation changed triangle %d", i)
+		}
+	}
+}
+
+func TestTranslatedSceneStillMeasures(t *testing.T) {
+	b, _ := ByName("massive11255", 0.2)
+	s := b.MustBuild()
+	base, err := trace.Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small pan keeps nearly all geometry on screen: fragment counts stay
+	// within a few percent; unique texels stay close (same texels reread).
+	shifted := Translate(s, 8, 4)
+	st, err := trace.Measure(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(st.PixelsRendered)-float64(base.PixelsRendered)) >
+		0.1*float64(base.PixelsRendered) {
+		t.Errorf("pan changed fragments too much: %d vs %d",
+			st.PixelsRendered, base.PixelsRendered)
+	}
+	ratio := float64(st.UniqueTexels) / float64(base.UniqueTexels)
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("pan changed unique texels by %vx", ratio)
+	}
+}
+
+func TestPanSequence(t *testing.T) {
+	b, _ := ByName("blowout775", 0.2)
+	s := b.MustBuild()
+	frames := PanSequence(s, 4, 10, 0)
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	if frames[0] != s {
+		t.Error("frame 0 is not the original scene")
+	}
+	// Frame i is translated 10*i pixels: spot-check vertex x coordinates.
+	for i := 1; i < 4; i++ {
+		want := s.Triangles[0].V[0].X + 10*float64(i)
+		if got := frames[i].Triangles[0].V[0].X; math.Abs(got-want) > 1e-9 {
+			t.Errorf("frame %d x = %v, want %v", i, got, want)
+		}
+	}
+}

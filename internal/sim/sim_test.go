@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSimulatorOrdering(t *testing.T) {
+	s := New()
+	var fired []int
+	s.At(10, func(Time) { fired = append(fired, 2) })
+	s.At(5, func(Time) { fired = append(fired, 1) })
+	s.At(10, func(Time) { fired = append(fired, 3) }) // same time: schedule order
+	end := s.Run()
+	if end != 10 {
+		t.Errorf("end time = %d, want 10", end)
+	}
+	want := []int{1, 2, 3}
+	if len(fired) != 3 || fired[0] != want[0] || fired[1] != want[1] || fired[2] != want[2] {
+		t.Errorf("fire order = %v, want %v", fired, want)
+	}
+}
+
+func TestSimulatorAfterChaining(t *testing.T) {
+	s := New()
+	var times []Time
+	var step func(Time)
+	n := 0
+	step = func(now Time) {
+		times = append(times, now)
+		n++
+		if n < 5 {
+			s.After(3, step)
+		}
+	}
+	s.After(3, step)
+	s.Run()
+	for i, at := range times {
+		if at != Time(3*(i+1)) {
+			t.Errorf("event %d at %d, want %d", i, at, 3*(i+1))
+		}
+	}
+}
+
+func TestSimulatorRandomOrderDrain(t *testing.T) {
+	// Events inserted in random time order must fire in sorted time order.
+	s := New()
+	rng := rand.New(rand.NewSource(42))
+	var want []Time
+	var got []Time
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Intn(10000))
+		want = append(want, at)
+		s.At(at, func(now Time) { got = append(got, now) })
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	s.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func(Time) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	s.At(5, func(Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	s.After(-1, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i*10), func(Time) { count++ })
+	}
+	now, drained := s.RunUntil(55)
+	if drained {
+		t.Error("RunUntil reported drained with events pending")
+	}
+	if count != 5 {
+		t.Errorf("fired %d events by t=55, want 5", count)
+	}
+	if now != 50 {
+		t.Errorf("now = %d, want 50", now)
+	}
+	_, drained = s.RunUntil(Forever)
+	if !drained || count != 10 {
+		t.Errorf("final drain: drained=%v count=%d", drained, count)
+	}
+}
+
+func TestFIFOBasicOrder(t *testing.T) {
+	s := New()
+	f := NewFIFO[int](s, 4)
+	for i := 0; i < 4; i++ {
+		if !f.TryPush(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !f.Full() {
+		t.Error("FIFO should be full")
+	}
+	if f.TryPush(99) {
+		t.Error("push into full FIFO succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := f.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := f.TryPop(); ok {
+		t.Error("pop from empty FIFO succeeded")
+	}
+	if f.Peak != 4 {
+		t.Errorf("Peak = %d, want 4", f.Peak)
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	s := New()
+	f := NewFIFO[int](s, 3)
+	next := 0
+	popped := 0
+	for round := 0; round < 10; round++ {
+		for !f.Full() {
+			f.TryPush(next)
+			next++
+		}
+		v, _ := f.TryPop()
+		if v != popped {
+			t.Fatalf("round %d: popped %d, want %d", round, v, popped)
+		}
+		popped++
+	}
+}
+
+func TestFIFOBackPressure(t *testing.T) {
+	// A producer pushing 10 items through a 2-entry FIFO to a consumer that
+	// takes 5 cycles per item: producer must stall and total time must be
+	// dominated by the consumer (~50 cycles).
+	s := New()
+	f := NewFIFO[int](s, 2)
+	const total = 10
+	produced, consumed := 0, 0
+
+	var produce Event
+	produce = func(now Time) {
+		for produced < total && f.TryPush(produced) {
+			produced++
+		}
+		if produced < total {
+			f.WaitSpace(produce)
+		}
+	}
+	var consume Event
+	consume = func(now Time) {
+		if _, ok := f.TryPop(); ok {
+			consumed++
+			if consumed < total {
+				s.After(5, consume)
+			}
+			return
+		}
+		f.WaitItem(consume)
+	}
+	s.At(0, produce)
+	s.At(0, consume)
+	end := s.Run()
+	if produced != total || consumed != total {
+		t.Fatalf("produced=%d consumed=%d", produced, consumed)
+	}
+	if end < 45 || end > 55 {
+		t.Errorf("end = %d, want ~50 (consumer-bound)", end)
+	}
+}
+
+func TestFIFOConsumerWakesOnPush(t *testing.T) {
+	s := New()
+	f := NewFIFO[string](s, 1)
+	gotAt := Time(-1)
+	f.WaitItem(func(now Time) {
+		if v, ok := f.TryPop(); !ok || v != "hello" {
+			t.Errorf("pop = (%q, %v)", v, ok)
+		}
+		gotAt = now
+	})
+	s.At(7, func(Time) { f.TryPush("hello") })
+	s.Run()
+	if gotAt != 7 {
+		t.Errorf("consumer woke at %d, want 7", gotAt)
+	}
+}
+
+func TestFIFODoubleWaitPanics(t *testing.T) {
+	s := New()
+	f := NewFIFO[int](s, 1)
+	f.TryPush(1) // full, so WaitSpace registers
+	f.WaitSpace(func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("second WaitSpace did not panic")
+		}
+	}()
+	f.WaitSpace(func(Time) {})
+}
+
+func TestFIFOZeroCapacityPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity FIFO did not panic")
+		}
+	}()
+	NewFIFO[int](s, 0)
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.String()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output:\n%s", out)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	c := &Chart{
+		Title:  "speedup",
+		XLabel: "processors",
+		YLabel: "speedup",
+		Series: []Series{
+			{Name: "block16", X: []float64{1, 16, 64}, Y: []float64{1, 14, 50}},
+			{Name: "sli4", X: []float64{1, 16, 64}, Y: []float64{1, 14, 40}},
+		},
+		Width:  40,
+		Height: 10,
+	}
+	out := c.String()
+	for _, want := range []string{"## speedup", "block16", "sli4", "(processors)", "y: speedup", "50", "0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both series marks must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series marks missing:\n%s", out)
+	}
+	// Plot area must have exactly Height rows of "|" plus axis line.
+	bars := strings.Count(out, "|")
+	if bars != 10 {
+		t.Errorf("got %d plot rows, want 10:\n%s", bars, out)
+	}
+}
+
+func TestChartMonotoneCurvePlacement(t *testing.T) {
+	// An increasing curve must place its marks higher (earlier rows) as x
+	// grows: the last column's mark must be on the first row, the first
+	// column's near the bottom.
+	c := &Chart{
+		Series: []Series{{Name: "up", X: []float64{0, 1}, Y: []float64{0, 100}}},
+		Width:  20, Height: 5,
+	}
+	lines := strings.Split(c.String(), "\n")
+	top := lines[0]
+	if !strings.Contains(top, "*") {
+		t.Errorf("max point not on top row:\n%s", c.String())
+	}
+	if !strings.HasSuffix(strings.TrimRight(top, " "), "*") {
+		t.Errorf("max point not at right edge:\n%s", c.String())
+	}
+}
+
+func TestChartDefaultsAndDegenerate(t *testing.T) {
+	// Single point, zero ranges: must not panic or divide by zero.
+	c := &Chart{Series: []Series{{Name: "pt", X: []float64{5}, Y: []float64{5}}}}
+	out := c.String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestChartNegativeValues(t *testing.T) {
+	c := &Chart{
+		Series: []Series{{Name: "n", X: []float64{0, 1}, Y: []float64{-10, 10}}},
+		Width:  20, Height: 6,
+	}
+	out := c.String()
+	if !strings.Contains(out, "-10") {
+		t.Errorf("negative minimum not labeled:\n%s", out)
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Binary trace format (little-endian):
+//
+//	magic   [4]byte  "TTRC"
+//	version uint32   1
+//	nameLen uint32, name bytes
+//	screen  4 × int32 (X0, Y0, X1, Y1)
+//	nTex    uint32, then per texture: w, h uint32
+//	nTri    uint32, then per triangle:
+//	    6 × float32 vertex coords (x0 y0 x1 y1 x2 y2)
+//	    texID int32
+//	    6 × float32 texmap (U0 V0 DuDx DuDy DvDx DvDy)
+
+var magic = [4]byte{'T', 'T', 'R', 'C'}
+
+const formatVersion = 1
+
+// Write serializes the scene to w in the binary trace format.
+func Write(w io.Writer, s *Scene) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+
+	writeU32 := func(v uint32) {
+		le.PutUint32(scratch[:4], v)
+		bw.Write(scratch[:4])
+	}
+	writeI32 := func(v int32) { writeU32(uint32(v)) }
+	writeF32 := func(v float64) { writeU32(math.Float32bits(float32(v))) }
+
+	writeU32(formatVersion)
+	writeU32(uint32(len(s.Name)))
+	bw.WriteString(s.Name)
+	writeI32(int32(s.Screen.X0))
+	writeI32(int32(s.Screen.Y0))
+	writeI32(int32(s.Screen.X1))
+	writeI32(int32(s.Screen.Y1))
+	writeU32(uint32(len(s.Textures)))
+	for _, ts := range s.Textures {
+		writeU32(uint32(ts.W))
+		writeU32(uint32(ts.H))
+	}
+	writeU32(uint32(len(s.Triangles)))
+	for i := range s.Triangles {
+		t := &s.Triangles[i]
+		for _, v := range t.V {
+			writeF32(v.X)
+			writeF32(v.Y)
+		}
+		writeI32(t.TexID)
+		writeF32(t.Tex.U0)
+		writeF32(t.Tex.V0)
+		writeF32(t.Tex.DuDx)
+		writeF32(t.Tex.DuDy)
+		writeF32(t.Tex.DvDx)
+		writeF32(t.Tex.DvDy)
+	}
+	return bw.Flush()
+}
+
+// Read parses a binary trace and validates it.
+func Read(r io.Reader) (*Scene, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m)
+	}
+	le := binary.LittleEndian
+	var scratch [4]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(scratch[:]), nil
+	}
+	readI32 := func() (int32, error) {
+		v, err := readU32()
+		return int32(v), err
+	}
+	readF32 := func() (float64, error) {
+		v, err := readU32()
+		return float64(math.Float32frombits(v)), err
+	}
+
+	version, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxName = 1 << 16
+	if nameLen > maxName {
+		return nil, fmt.Errorf("trace: name length %d too large", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, err
+	}
+	s := &Scene{Name: string(nameBuf)}
+
+	coords := make([]int32, 4)
+	for i := range coords {
+		if coords[i], err = readI32(); err != nil {
+			return nil, err
+		}
+	}
+	s.Screen = geom.Rect{X0: int(coords[0]), Y0: int(coords[1]), X1: int(coords[2]), Y1: int(coords[3])}
+
+	nTex, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxTextures = 1 << 20
+	if nTex > maxTextures {
+		return nil, fmt.Errorf("trace: texture count %d too large", nTex)
+	}
+	// Grow incrementally rather than trusting the declared count: a
+	// corrupt or hostile header must not drive a huge allocation before the
+	// stream proves it actually carries the records.
+	s.Textures = make([]TexSize, 0, min(int(nTex), 4096))
+	for i := 0; i < int(nTex); i++ {
+		w, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		h, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		s.Textures = append(s.Textures, TexSize{W: int(w), H: int(h)})
+	}
+
+	nTri, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxTriangles = 1 << 26
+	if nTri > maxTriangles {
+		return nil, fmt.Errorf("trace: triangle count %d too large", nTri)
+	}
+	s.Triangles = make([]geom.Triangle, 0, min(int(nTri), 4096))
+	for i := 0; i < int(nTri); i++ {
+		s.Triangles = append(s.Triangles, geom.Triangle{})
+		t := &s.Triangles[len(s.Triangles)-1]
+		for j := 0; j < 3; j++ {
+			if t.V[j].X, err = readF32(); err != nil {
+				return nil, fmt.Errorf("trace: triangle %d: %w", i, err)
+			}
+			if t.V[j].Y, err = readF32(); err != nil {
+				return nil, fmt.Errorf("trace: triangle %d: %w", i, err)
+			}
+		}
+		if t.TexID, err = readI32(); err != nil {
+			return nil, err
+		}
+		fields := []*float64{&t.Tex.U0, &t.Tex.V0, &t.Tex.DuDx, &t.Tex.DuDy, &t.Tex.DvDx, &t.Tex.DvDy}
+		for _, f := range fields {
+			if *f, err = readF32(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestFormatGolden pins the trace format byte-for-byte: traces written by
+// any earlier version of the library must stay readable, so the encoder's
+// output for a fixed scene is part of the public contract.
+func TestFormatGolden(t *testing.T) {
+	s := &Scene{
+		Name:     "g",
+		Screen:   geom.Rect{X0: 0, Y0: 0, X1: 4, Y1: 2},
+		Textures: []TexSize{{W: 8, H: 4}},
+		Triangles: []geom.Triangle{{
+			V:     [3]geom.Vec2{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 0, Y: 2}},
+			TexID: 0,
+			Tex:   geom.TexMap{U0: 1, V0: 2, DuDx: 1, DuDy: 0, DvDx: 0, DvDy: 1},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "54545243" + // "TTRC"
+		"01000000" + // version 1
+		"01000000" + "67" + // name "g"
+		"00000000" + "00000000" + "04000000" + "02000000" + // screen
+		"01000000" + "08000000" + "04000000" + // 1 texture, 8x4
+		"01000000" + // 1 triangle
+		"00000000" + "00000000" + // v0 (0,0)
+		"00000040" + "00000000" + // v1 (2,0)
+		"00000000" + "00000040" + // v2 (0,2)
+		"00000000" + // texid 0
+		"0000803f" + "00000040" + // U0=1 V0=2
+		"0000803f" + "00000000" + // DuDx=1 DuDy=0
+		"00000000" + "0000803f" // DvDx=0 DvDy=1
+	want, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoding drifted from the v1 format:\n got %x\nwant %x", buf.Bytes(), want)
+	}
+	// And the golden bytes must decode to the same scene.
+	back, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "g" || len(back.Triangles) != 1 || back.Triangles[0].Tex.V0 != 2 {
+		t.Errorf("golden bytes decoded to %+v", back)
+	}
+}

@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Text trace format: a line-oriented, diff-friendly dump of a scene, for
+// debugging and for committing small fixture traces. One record per line:
+//
+//	# comments and blank lines are ignored
+//	scene <name>
+//	screen <x0> <y0> <x1> <y1>
+//	texture <w> <h>
+//	tri <texid> <x0> <y0> <x1> <y1> <x2> <y2> <u0> <v0> <dudx> <dudy> <dvdx> <dvdy>
+//
+// Textures are numbered in order of appearance, starting at 0.
+
+// WriteText dumps the scene in the text trace format.
+func WriteText(w io.Writer, s *Scene) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# texsim text trace\nscene %s\n", escapeName(s.Name))
+	fmt.Fprintf(bw, "screen %d %d %d %d\n", s.Screen.X0, s.Screen.Y0, s.Screen.X1, s.Screen.Y1)
+	for _, ts := range s.Textures {
+		fmt.Fprintf(bw, "texture %d %d\n", ts.W, ts.H)
+	}
+	for i := range s.Triangles {
+		t := &s.Triangles[i]
+		fmt.Fprintf(bw, "tri %d %g %g %g %g %g %g %g %g %g %g %g %g\n",
+			t.TexID,
+			t.V[0].X, t.V[0].Y, t.V[1].X, t.V[1].Y, t.V[2].X, t.V[2].Y,
+			t.Tex.U0, t.Tex.V0, t.Tex.DuDx, t.Tex.DuDy, t.Tex.DvDx, t.Tex.DvDy)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text trace format and validates the scene.
+func ReadText(r io.Reader) (*Scene, error) {
+	s := &Scene{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	sawScreen := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("trace: text line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "scene":
+			if len(fields) != 2 {
+				return nil, bad("scene wants 1 field")
+			}
+			s.Name = unescapeName(fields[1])
+		case "screen":
+			v, err := parseInts(fields[1:], 4)
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			s.Screen = geom.Rect{X0: v[0], Y0: v[1], X1: v[2], Y1: v[3]}
+			sawScreen = true
+		case "texture":
+			v, err := parseInts(fields[1:], 2)
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			s.Textures = append(s.Textures, TexSize{W: v[0], H: v[1]})
+		case "tri":
+			if len(fields) != 14 {
+				return nil, bad("tri wants 13 fields")
+			}
+			id, err := strconv.ParseInt(fields[1], 10, 32)
+			if err != nil {
+				return nil, bad("bad texture id")
+			}
+			f := make([]float64, 12)
+			for i := range f {
+				if f[i], err = strconv.ParseFloat(fields[2+i], 64); err != nil {
+					return nil, bad("bad number")
+				}
+			}
+			s.Triangles = append(s.Triangles, geom.Triangle{
+				TexID: int32(id),
+				V: [3]geom.Vec2{
+					{X: f[0], Y: f[1]}, {X: f[2], Y: f[3]}, {X: f[4], Y: f[5]},
+				},
+				Tex: geom.TexMap{U0: f[6], V0: f[7],
+					DuDx: f[8], DuDy: f[9], DvDx: f[10], DvDy: f[11]},
+			})
+		default:
+			return nil, bad("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading text: %w", err)
+	}
+	if !sawScreen {
+		return nil, fmt.Errorf("trace: text trace has no screen record")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseInts(fields []string, n int) ([]int, error) {
+	if len(fields) != n {
+		return nil, fmt.Errorf("want %d fields, got %d", n, len(fields))
+	}
+	out := make([]int, n)
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Scene names travel on one whitespace-separated field; spaces are escaped.
+func escapeName(n string) string {
+	if n == "" {
+		return "_"
+	}
+	return strings.ReplaceAll(n, " ", "\\x20")
+}
+
+func unescapeName(n string) string {
+	if n == "_" {
+		return ""
+	}
+	return strings.ReplaceAll(n, "\\x20", " ")
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	s := smallScene()
+	s.Name = "with space"
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.Screen != s.Screen {
+		t.Errorf("header mismatch: %q %v", back.Name, back.Screen)
+	}
+	if len(back.Textures) != len(s.Textures) || len(back.Triangles) != len(s.Triangles) {
+		t.Fatal("counts mismatch")
+	}
+	for i := range s.Triangles {
+		if back.Triangles[i] != s.Triangles[i] {
+			t.Errorf("triangle %d = %+v, want %+v", i, back.Triangles[i], s.Triangles[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	src := `
+# a fixture
+scene demo
+
+screen 0 0 32 32
+texture 16 16
+# the one triangle
+tri 0 0 0 10 0 0 10 0 0 1 0 0 1
+`
+	s, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "demo" || len(s.Triangles) != 1 || len(s.Textures) != 1 {
+		t.Errorf("parsed scene = %+v", s)
+	}
+}
+
+func TestTextRejects(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown record", "screen 0 0 8 8\nbogus 1\n"},
+		{"short screen", "screen 0 0 8\n"},
+		{"bad int", "screen a 0 8 8\n"},
+		{"short tri", "screen 0 0 8 8\ntexture 8 8\ntri 0 1 2\n"},
+		{"bad float", "screen 0 0 8 8\ntexture 8 8\ntri 0 x 0 1 0 0 1 0 0 1 0 0 1\n"},
+		{"no screen", "texture 8 8\n"},
+		{"bad texid", "screen 0 0 8 8\ntexture 8 8\ntri 5 0 0 1 0 0 1 0 0 1 0 0 1\n"},
+		{"non-pow2 texture", "screen 0 0 8 8\ntexture 9 8\ntri 0 0 0 1 0 0 1 0 0 1 0 0 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTextEmptyNameRoundTrip(t *testing.T) {
+	s := smallScene()
+	s.Name = ""
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "" {
+		t.Errorf("empty name became %q", back.Name)
+	}
+}
+
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Write(&seed, smallScene()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("TTRC"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; on success the scene must validate.
+		s, err := Read(bytes.NewReader(data))
+		if err == nil {
+			if vErr := s.Validate(); vErr != nil {
+				t.Errorf("Read accepted invalid scene: %v", vErr)
+			}
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteText(&seed, smallScene()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("scene x\nscreen 0 0 1 1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadText(strings.NewReader(data))
+		if err == nil {
+			if vErr := s.Validate(); vErr != nil {
+				t.Errorf("ReadText accepted invalid scene: %v", vErr)
+			}
+		}
+	})
+}

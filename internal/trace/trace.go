@@ -1,0 +1,75 @@
+// Package trace defines the triangle-trace representation the simulator
+// consumes. The paper drove its simulations with triangle traces captured
+// from an instrumented Mesa library (screen-space triangles with their
+// texture bindings, in strict OpenGL submission order); this package is the
+// equivalent: an in-memory Scene plus a versioned binary file format so
+// synthetic traces can be generated once and replayed, and the scene
+// statistics of the paper's Table 1.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/texture"
+)
+
+// TexSize records the base-level dimensions of one texture in a scene.
+type TexSize struct {
+	W, H int
+}
+
+// Scene is one frame's triangle trace: the screen it renders to, the texture
+// table, and the textured triangles in submission order. Triangles reference
+// textures by index into Textures.
+type Scene struct {
+	Name      string
+	Screen    geom.Rect
+	Textures  []TexSize
+	Triangles []geom.Triangle
+}
+
+// Validate checks referential integrity: every triangle must reference an
+// existing texture and the screen must be non-empty.
+func (s *Scene) Validate() error {
+	if s.Screen.Empty() {
+		return fmt.Errorf("trace: scene %q has empty screen", s.Name)
+	}
+	if len(s.Textures) == 0 {
+		return fmt.Errorf("trace: scene %q has no textures", s.Name)
+	}
+	for i, ts := range s.Textures {
+		if ts.W <= 0 || ts.H <= 0 || ts.W&(ts.W-1) != 0 || ts.H&(ts.H-1) != 0 {
+			return fmt.Errorf("trace: scene %q texture %d has bad dims %dx%d", s.Name, i, ts.W, ts.H)
+		}
+	}
+	for i, t := range s.Triangles {
+		if t.TexID < 0 || int(t.TexID) >= len(s.Textures) {
+			return fmt.Errorf("trace: scene %q triangle %d references texture %d of %d",
+				s.Name, i, t.TexID, len(s.Textures))
+		}
+	}
+	return nil
+}
+
+// BuildTextures allocates the scene's texture table in a fresh texture
+// memory, preserving indices, so triangle TexIDs address it directly.
+func (s *Scene) BuildTextures() (*texture.Manager, error) {
+	m := texture.NewManager()
+	for i, ts := range s.Textures {
+		if _, err := m.Add(ts.W, ts.H); err != nil {
+			return nil, fmt.Errorf("trace: scene %q texture %d: %w", s.Name, i, err)
+		}
+	}
+	return m, nil
+}
+
+// TextureBytes returns the total texture memory footprint of the scene,
+// mipmap levels included (the paper's "Texture Used (MB)" column).
+func (s *Scene) TextureBytes() (int, error) {
+	m, err := s.BuildTextures()
+	if err != nil {
+		return 0, err
+	}
+	return m.TotalBytes(), nil
+}

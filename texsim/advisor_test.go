@@ -1,0 +1,50 @@
+package texsim_test
+
+import (
+	"testing"
+
+	"repro/texsim"
+)
+
+func TestRecommendRanksAndAgreesWithPaper(t *testing.T) {
+	sc := texsim.Benchmark("32massive11255", 0.3)
+	rec, err := texsim.Recommend(sc, texsim.Config{
+		Procs:     64,
+		CacheKind: texsim.CacheReal,
+		Bus:       texsim.BusConfig{TexelsPerCycle: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ranked) != 10 {
+		t.Fatalf("got %d candidates, want 10", len(rec.Ranked))
+	}
+	// Ranked is sorted best first and Best matches.
+	for i := 1; i < len(rec.Ranked); i++ {
+		if rec.Ranked[i].Speedup > rec.Ranked[i-1].Speedup {
+			t.Fatalf("ranking not sorted at %d", i)
+		}
+	}
+	if rec.Best != rec.Ranked[0] {
+		t.Error("Best is not Ranked[0]")
+	}
+	// At 64 processors the paper's answer is a mid-size square block; the
+	// winner must not be an extreme candidate.
+	best := rec.Best.Config
+	if best.Distribution == texsim.Block && (best.TileSize <= 4 || best.TileSize >= 64) {
+		t.Errorf("implausible best block width %d", best.TileSize)
+	}
+	if rec.Best.Speedup < 5 {
+		t.Errorf("best 64-proc speedup %v suspiciously low", rec.Best.Speedup)
+	}
+	if rec.SingleProcCycles <= 0 {
+		t.Error("missing baseline")
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	sc := texsim.Benchmark("blowout775", 0.2)
+	if _, err := texsim.Recommend(sc, texsim.Config{Procs: 1}); err == nil {
+		t.Error("Procs=1 accepted")
+	}
+}

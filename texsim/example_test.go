@@ -1,0 +1,96 @@
+package texsim_test
+
+import (
+	"fmt"
+
+	"repro/texsim"
+)
+
+// Measure a synthesized paper benchmark and read off its Table 1 row.
+func ExampleMeasure() {
+	sc := texsim.Benchmark("blowout775", 0.25)
+	st, err := texsim.Measure(sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(st.Name, st.DepthComplexity > 2.5, st.UniqueTexelFrag < 0.5)
+	// Output: blowout775 true true
+}
+
+// Compare the two distributions the paper studies on one machine.
+func ExampleSpeedup() {
+	sc := texsim.Benchmark("massive11255", 0.25)
+	for _, cfg := range []texsim.Config{
+		{Procs: 16, Distribution: texsim.Block, TileSize: 16, CacheKind: texsim.CachePerfect},
+		{Procs: 16, Distribution: texsim.SLI, TileSize: 4, CacheKind: texsim.CachePerfect},
+	} {
+		sp, _, _, err := texsim.Speedup(sc, cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: speedup in (1,16] = %v\n", cfg.Name(), sp > 1 && sp <= 16)
+	}
+	// Output:
+	// block16/p16: speedup in (1,16] = true
+	// sli4/p16: speedup in (1,16] = true
+}
+
+// Record a scene through the GL-style immediate-mode API.
+func ExampleNewGL() {
+	c := texsim.NewGL("demo", texsim.Rect{X1: 64, Y1: 64})
+	tex := c.GenTexture(32, 32)
+	c.BindTexture(tex)
+	c.Begin(texsim.GLTriangles)
+	c.TexCoord2f(0, 0)
+	c.Vertex2f(0, 0)
+	c.TexCoord2f(32, 0)
+	c.Vertex2f(32, 0)
+	c.TexCoord2f(0, 32)
+	c.Vertex2f(0, 32)
+	c.End()
+	sc, err := c.Scene()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(sc.Triangles), len(sc.Textures))
+	// Output: 1 1
+}
+
+// Ask the advisor for the best distribution for a scene and machine.
+func ExampleRecommend() {
+	sc := texsim.Benchmark("truc640", 0.25)
+	rec, err := texsim.Recommend(sc, texsim.Config{
+		Procs:     16,
+		CacheKind: texsim.CacheReal,
+		Bus:       texsim.BusConfig{TexelsPerCycle: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(rec.Ranked), rec.Best.Speedup > rec.Ranked[len(rec.Ranked)-1].Speedup)
+	// Output: 10 true
+}
+
+// Study inter-frame texture locality with per-node L2 caches.
+func ExampleMachine_RunSequence() {
+	sc := texsim.Benchmark("massive11255", 0.2)
+	m, err := texsim.NewMachine(sc, texsim.Config{
+		Procs: 4, TileSize: 16, CacheKind: texsim.CacheReal,
+		L2Config: texsim.CacheConfig{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64},
+	})
+	if err != nil {
+		panic(err)
+	}
+	frames := texsim.PanSequence(sc, 2, 8, 0) // pan 8 px/frame
+	results, err := m.RunSequence(frames)
+	if err != nil {
+		panic(err)
+	}
+	cold, warm := uint64(0), uint64(0)
+	for i := range results[0].Nodes {
+		cold += results[0].Nodes[i].MainBus.LinesFetched
+		warm += results[1].Nodes[i].MainBus.LinesFetched
+	}
+	fmt.Println("warm frame cheaper:", warm < cold)
+	// Output: warm frame cheaper: true
+}

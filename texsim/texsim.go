@@ -1,0 +1,165 @@
+// Package texsim is the public API of the parallel-texture-cache simulator,
+// a reproduction of "The Best Distribution for a Parallel OpenGL 3D Engine
+// with Texture Caches" (Vartanian, Béchennec, Drach-Temam — HPCA 2000).
+//
+// The simulator models a sort-middle parallel rendering machine built from
+// commodity 3D accelerators: N texture-mapping nodes, each with a private
+// 16 KB texture cache and a bandwidth-limited texture bus, drawing a
+// statically interleaved partition of the screen (square blocks or SLI
+// line groups) from triangle traces delivered in strict OpenGL order.
+//
+// Typical use:
+//
+//	sc := texsim.Benchmark("truc640", 0.5)   // a synthesized paper scene
+//	res, err := texsim.Simulate(sc, texsim.Config{
+//	    Procs:        16,
+//	    Distribution: texsim.Block,
+//	    TileSize:     16,
+//	    CacheKind:    texsim.CacheReal,
+//	    Bus:          texsim.BusConfig{TexelsPerCycle: 1},
+//	})
+//	fmt.Println(res.Cycles, res.TexelToFragment(), res.PixelImbalance())
+//
+// Scenes can also be generated from custom parameters (GenerateScene),
+// loaded from trace files (ReadTrace), or built triangle by triangle.
+package texsim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/geom"
+	"repro/internal/memory"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+// Re-exported model types. These are aliases, so values flow freely between
+// the public API and any future extension points.
+type (
+	// Scene is one frame's triangle trace: screen, texture table and
+	// textured triangles in submission order.
+	Scene = trace.Scene
+	// TexSize is a texture-table entry (power-of-two dimensions in texels).
+	TexSize = trace.TexSize
+	// SceneStats are the Table 1 characteristics of a scene.
+	SceneStats = trace.SceneStats
+	// Triangle is a screen-space triangle with its texture binding.
+	Triangle = geom.Triangle
+	// Vec2 is a 2-D point in pixel or texel space.
+	Vec2 = geom.Vec2
+	// TexMap is a triangle's affine screen→texel mapping.
+	TexMap = geom.TexMap
+	// Rect is a half-open pixel rectangle.
+	Rect = geom.Rect
+	// Config describes a machine: processor count, distribution, cache,
+	// bus, triangle buffer.
+	Config = core.Config
+	// Result reports a simulation: completion cycles and per-node counters.
+	Result = core.Result
+	// NodeResult is one node's share of a Result.
+	NodeResult = core.NodeResult
+	// Machine is a configured simulator instance, reusable across runs.
+	Machine = core.Machine
+	// BusConfig sets a node's texture-bus bandwidth as the paper's
+	// texel-to-fragment ratio (0 = infinite).
+	BusConfig = memory.BusConfig
+	// CacheConfig is the set-associative texture-cache geometry.
+	CacheConfig = cache.Config
+	// SceneParams drive the procedural scene synthesizer.
+	SceneParams = scene.Params
+	// BenchmarkInfo couples a paper benchmark's Table 1 target with its
+	// synthesizer parameters.
+	BenchmarkInfo = scene.Benchmark
+	// Table1Target is one row of the paper's Table 1.
+	Table1Target = scene.Target
+)
+
+// Distribution kinds.
+const (
+	// Block partitions the screen into interleaved square tiles; TileSize
+	// is the tile width in pixels.
+	Block = distrib.BlockKind
+	// SLI partitions the screen into interleaved groups of adjacent scan
+	// lines; TileSize is the group height in lines.
+	SLI = distrib.SLIKind
+	// BlockSkewed is Block with each tile row's assignment rotated by one
+	// processor, avoiding the row-major pattern's column aliasing.
+	BlockSkewed = distrib.BlockSkewedKind
+)
+
+// Cache models.
+const (
+	// CacheReal simulates the configured set-associative cache (the paper's
+	// 16 KB 4-way by default).
+	CacheReal = core.CacheReal
+	// CachePerfect always hits: isolates load balancing from locality.
+	CachePerfect = core.CachePerfect
+	// CacheNone always misses.
+	CacheNone = core.CacheNone
+)
+
+// PaperCache returns the 16 KB 4-way 64-byte-line configuration used
+// throughout the paper.
+func PaperCache() CacheConfig { return cache.PaperConfig() }
+
+// Simulate renders the scene once on a machine built from cfg and returns
+// the result. It is deterministic.
+func Simulate(s *Scene, cfg Config) (*Result, error) {
+	return core.Simulate(s, cfg)
+}
+
+// NewMachine builds a reusable machine for repeated runs of one scene.
+func NewMachine(s *Scene, cfg Config) (*Machine, error) {
+	return core.NewMachine(s, cfg)
+}
+
+// Speedup simulates the scene on one processor and on cfg.Procs processors
+// (all other parameters equal) and returns T1/TN with both results.
+func Speedup(s *Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
+	return core.Speedup(s, cfg)
+}
+
+// Measure rasterizes the scene once and returns its Table 1 row: fragments,
+// depth complexity, and the unique texel-to-fragment ratio.
+func Measure(s *Scene) (SceneStats, error) {
+	return trace.Measure(s)
+}
+
+// GenerateScene synthesizes a deterministic procedural scene from the given
+// parameters (see SceneParams for the knobs).
+func GenerateScene(p SceneParams) (*Scene, error) {
+	return scene.Generate(p)
+}
+
+// Benchmark returns the named paper benchmark scene synthesized at the given
+// resolution scale (1 = the paper's full frame). It panics on an unknown
+// name; use LookupBenchmark to probe.
+func Benchmark(name string, scale float64) *Scene {
+	b, err := scene.ByName(name, scale)
+	if err != nil {
+		panic(fmt.Sprintf("texsim: %v (known: %v)", err, scene.Names()))
+	}
+	return b.MustBuild()
+}
+
+// LookupBenchmark returns the benchmark definition (target characteristics
+// and synthesizer parameters) for one of the paper's scenes.
+func LookupBenchmark(name string, scale float64) (BenchmarkInfo, error) {
+	return scene.ByName(name, scale)
+}
+
+// BenchmarkNames lists the paper's seven scenes in Table 1 order.
+func BenchmarkNames() []string { return scene.Names() }
+
+// Table1 returns the paper's published benchmark characteristics.
+func Table1() []Table1Target { return scene.Table1 }
+
+// WriteTrace serializes a scene in the binary trace format.
+func WriteTrace(w io.Writer, s *Scene) error { return trace.Write(w, s) }
+
+// ReadTrace parses a binary trace and validates it.
+func ReadTrace(r io.Reader) (*Scene, error) { return trace.Read(r) }

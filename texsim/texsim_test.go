@@ -1,0 +1,139 @@
+package texsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/texsim"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README's five-line flow must work end to end.
+	sc := texsim.Benchmark("blowout775", 0.25)
+	res, err := texsim.Simulate(sc, texsim.Config{
+		Procs:        16,
+		Distribution: texsim.Block,
+		TileSize:     16,
+		CacheKind:    texsim.CacheReal,
+		Bus:          texsim.BusConfig{TexelsPerCycle: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.Fragments == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+	if r := res.TexelToFragment(); r <= 0 || r > 128 {
+		t.Errorf("texel-to-fragment ratio %v out of range", r)
+	}
+}
+
+func TestBenchmarkNamesAndTable1(t *testing.T) {
+	names := texsim.BenchmarkNames()
+	if len(names) != 7 {
+		t.Fatalf("want 7 benchmarks, got %v", names)
+	}
+	if len(texsim.Table1()) != 7 {
+		t.Fatal("Table1 rows missing")
+	}
+	for _, n := range names {
+		if _, err := texsim.LookupBenchmark(n, 0.5); err != nil {
+			t.Errorf("LookupBenchmark(%q): %v", n, err)
+		}
+	}
+	if _, err := texsim.LookupBenchmark("nope", 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Benchmark(unknown) did not panic")
+		}
+	}()
+	texsim.Benchmark("not-a-scene", 1)
+}
+
+func TestSpeedupAPI(t *testing.T) {
+	sc := texsim.Benchmark("massive11255", 0.2)
+	sp, single, parallel, err := texsim.Speedup(sc, texsim.Config{
+		Procs: 4, Distribution: texsim.SLI, TileSize: 4, CacheKind: texsim.CachePerfect,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp <= 1 || sp > 4.01 {
+		t.Errorf("speedup %v out of (1, 4]", sp)
+	}
+	if single.Cycles <= parallel.Cycles {
+		t.Error("parallel run not faster than single")
+	}
+}
+
+func TestCustomSceneAndTraceRoundTrip(t *testing.T) {
+	sc, err := texsim.GenerateScene(texsim.SceneParams{
+		Name: "custom", Width: 256, Height: 192, Triangles: 300,
+		DepthComplexity: 2.5, Textures: 12, TexSize: 64,
+		TexelDensity: 0.9, FreshFraction: 0.7, HotSpots: 2, HotSpotShare: 0.3,
+		Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := texsim.Measure(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DepthComplexity < 2 || st.DepthComplexity > 3 {
+		t.Errorf("custom scene DC %v, want ≈2.5", st.DepthComplexity)
+	}
+	var buf bytes.Buffer
+	if err := texsim.WriteTrace(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := texsim.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Triangles) != len(sc.Triangles) || back.Name != sc.Name {
+		t.Error("trace round trip lost data")
+	}
+	// The machine must accept the deserialized scene.
+	if _, err := texsim.Simulate(back, texsim.Config{Procs: 2, CacheKind: texsim.CachePerfect}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReusableMachine(t *testing.T) {
+	sc := texsim.Benchmark("quake", 0.2)
+	m, err := texsim.NewMachine(sc, texsim.Config{
+		Procs: 8, Distribution: texsim.Block, TileSize: 16,
+		CacheKind: texsim.CacheReal, CacheConfig: texsim.PaperCache(),
+		Bus: texsim.BusConfig{TexelsPerCycle: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Run()
+	b := m.Run()
+	if a.Cycles != b.Cycles {
+		t.Errorf("machine runs differ: %v vs %v", a.Cycles, b.Cycles)
+	}
+}
+
+func ExampleSimulate() {
+	sc := texsim.Benchmark("blowout775", 0.25)
+	res, err := texsim.Simulate(sc, texsim.Config{
+		Procs:        4,
+		Distribution: texsim.Block,
+		TileSize:     16,
+		CacheKind:    texsim.CachePerfect,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Fragments > 0, res.Cycles > 0)
+	// Output: true true
+}
