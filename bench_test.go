@@ -10,6 +10,7 @@ package repro
 // For the paper-scale numbers use cmd/texbench with -scale 1.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -24,12 +25,12 @@ import (
 // manageable; the shapes remain those of the paper.
 var benchOpt = experiments.Options{Scale: 0.25}
 
-func benchExperiment(b *testing.B, run func(experiments.Options) (*experiments.Report, error)) {
+func benchExperiment(b *testing.B, run func(context.Context, experiments.Options) (*experiments.Report, error)) {
 	b.Helper()
 	opt := benchOpt
 	opt.OutDir = b.TempDir()
 	for i := 0; i < b.N; i++ {
-		rep, err := run(opt)
+		rep, err := run(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -54,10 +58,19 @@ func main() {
 		toRun = []experiments.Experiment{e}
 	}
 
+	// Ctrl-C / SIGTERM cancels in-flight simulations instead of leaving a
+	// long sweep running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	for _, e := range toRun {
 		start := time.Now()
-		report, err := e.Run(opt)
+		report, err := e.Run(ctx, opt)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "texbench: %s: interrupted\n", e.ID)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "texbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,98 @@
+// Command texsimd serves the simulator over HTTP: clients submit sweep or
+// experiment jobs, poll their status, and fetch results; identical
+// submissions are answered from a content-addressed result cache without
+// re-simulating. Metrics are exposed at /metrics in Prometheus text format.
+//
+// Usage:
+//
+//	texsimd -addr :8080 -workers 4 -queue 64 -cache-dir /var/cache/texsimd
+//
+// Submit a sweep and read it back:
+//
+//	curl -s -X POST localhost:8080/api/v1/jobs -d '{"type":"sweep","sweep":{"scene":"truc640"}}'
+//	curl -s localhost:8080/api/v1/jobs/job-000001
+//	curl -s localhost:8080/api/v1/jobs/job-000001/result
+//
+// SIGINT/SIGTERM stop accepting new jobs and drain queued and running ones
+// (bounded by -drain-timeout) before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/resultcache"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		queue        = flag.Int("queue", 64, "job queue depth (full queue returns 429)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job timeout (0 = unlimited)")
+		parallelism  = flag.Int("job-par", 1, "concurrent simulations inside one job")
+		cacheEntries = flag.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result cache entries")
+		cacheDir     = flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
+		outDir       = flag.String("out", "out", "output directory for image-producing experiment jobs")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+
+	cache, err := resultcache.New(resultcache.Config{MaxEntries: *cacheEntries, Dir: *cacheDir})
+	cliutil.Check("texsimd", err)
+
+	srv, err := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		JobTimeout:  *jobTimeout,
+		Parallelism: *parallelism,
+		Cache:       cache,
+		OutDir:      *outDir,
+		Logf:        log.Printf,
+	})
+	cliutil.Check("texsimd", err)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("texsimd: listening on %s (workers %d, queue %d)", *addr, *workers, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		cliutil.Fail("texsimd", err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	log.Printf("texsimd: shutting down, draining jobs (up to %v)", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop taking connections first, then drain the pool.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("texsimd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		cliutil.Fail("texsimd", fmt.Errorf("drain incomplete: %w", err))
+	}
+	log.Printf("texsimd: drained cleanly")
+}

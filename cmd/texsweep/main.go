@@ -1,153 +1,84 @@
 // Command texsweep runs custom parameter sweeps over the simulator and
-// emits one CSV row per configuration — the open-ended counterpart of
-// texbench's fixed paper experiments.
+// emits one row per configuration — the open-ended counterpart of
+// texbench's fixed paper experiments. Rows are the same structures the
+// texsimd service returns, so a CSV sweep and an HTTP sweep job with the
+// same spec agree exactly.
 //
-// Example: reproduce the spirit of Figure 7 for one scene:
+// Example: reproduce the spirit of Figure 7 for one scene, eight
+// simulations at a time:
 //
 //	texsweep -scene truc640 -scale 0.5 -procs 4,16,64 \
-//	         -dist block -sizes 4,8,16,32,64 -bus 1 -o sweep.csv
+//	         -dist block -sizes 4,8,16,32,64 -bus 1 -par 8 -o sweep.csv
+//
+// Add -json for the service's JSON document instead of CSV.
 package main
 
 import (
-	"encoding/csv"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 
-	"repro/texsim"
+	"repro/internal/cliutil"
+	"repro/internal/sweep"
 )
-
-func parseIntList(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		v, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad list element %q", part)
-		}
-		out = append(out, v)
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty list")
-	}
-	return out, nil
-}
 
 func main() {
 	var (
 		sceneName = flag.String("scene", "truc640", "benchmark scene")
 		scale     = flag.Float64("scale", 0.5, "resolution scale")
 		procsList = flag.String("procs", "1,4,16,64", "processor counts (comma-separated)")
-		dist      = flag.String("dist", "block", "distribution: block or sli")
+		dist      = flag.String("dist", "block", "distribution: block, sli or blockskewed")
 		sizesList = flag.String("sizes", "4,8,16,32,64", "tile sizes (comma-separated)")
 		busRatio  = flag.Float64("bus", 1, "bus texels per pixel-cycle (0 = infinite)")
 		cacheKind = flag.String("cache", "real", "cache model: real, perfect or none")
 		buffer    = flag.Int("buffer", 0, "triangle buffer entries (0 = paper default)")
-		outPath   = flag.String("o", "", "output CSV file (default stdout)")
+		par       = flag.Int("par", 1, "concurrent simulations")
+		asJSON    = flag.Bool("json", false, "emit the full JSON document instead of CSV")
+		outPath   = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "texsweep: %v\n", err)
-		os.Exit(1)
+	procs, err := cliutil.ParseIntList(*procsList)
+	if err != nil {
+		cliutil.Fail("texsweep", fmt.Errorf("-procs: %w", err))
+	}
+	sizes, err := cliutil.ParseIntList(*sizesList)
+	if err != nil {
+		cliutil.Fail("texsweep", fmt.Errorf("-sizes: %w", err))
 	}
 
-	procs, err := parseIntList(*procsList)
-	if err != nil {
-		fail(fmt.Errorf("-procs: %w", err))
+	spec := sweep.Spec{
+		Scene:  *sceneName,
+		Scale:  *scale,
+		Dist:   *dist,
+		Procs:  procs,
+		Sizes:  sizes,
+		Bus:    *busRatio,
+		Cache:  *cacheKind,
+		Buffer: *buffer,
 	}
-	sizes, err := parseIntList(*sizesList)
-	if err != nil {
-		fail(fmt.Errorf("-sizes: %w", err))
-	}
-	var kind texsim.Config
-	switch *dist {
-	case "block":
-		kind.Distribution = texsim.Block
-	case "sli":
-		kind.Distribution = texsim.SLI
-	default:
-		fail(fmt.Errorf("unknown distribution %q", *dist))
-	}
-	switch *cacheKind {
-	case "real":
-		kind.CacheKind = texsim.CacheReal
-	case "perfect":
-		kind.CacheKind = texsim.CachePerfect
-	case "none":
-		kind.CacheKind = texsim.CacheNone
-	default:
-		fail(fmt.Errorf("unknown cache model %q", *cacheKind))
-	}
+	cliutil.Check("texsweep", spec.Validate())
 
-	b, err := texsim.LookupBenchmark(*sceneName, *scale)
-	if err != nil {
-		fail(err)
-	}
-	sc, err := b.Build()
-	if err != nil {
-		fail(err)
-	}
+	// Ctrl-C / SIGTERM abandons the remaining configurations.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := sweep.Run(ctx, spec, *par)
+	cliutil.Check("texsweep", err)
 
 	out := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
-		if err != nil {
-			fail(err)
-		}
+		cliutil.Check("texsweep", err)
 		defer f.Close()
 		out = f
 	}
-	w := csv.NewWriter(out)
-	defer w.Flush()
-	if err := w.Write([]string{"scene", "dist", "procs", "size", "cycles",
-		"speedup", "texel_per_frag", "pixel_imbalance", "stall_cycles"}); err != nil {
-		fail(err)
-	}
-
-	// One-processor baselines per size are identical; compute once.
-	base := kind
-	base.Procs = 1
-	base.TileSize = sizes[0]
-	base.Bus = texsim.BusConfig{TexelsPerCycle: *busRatio}
-	base.TriangleBuffer = *buffer
-	baseRes, err := texsim.Simulate(sc, base)
-	if err != nil {
-		fail(err)
-	}
-
-	for _, p := range procs {
-		for _, size := range sizes {
-			cfg := kind
-			cfg.Procs = p
-			cfg.TileSize = size
-			cfg.Bus = texsim.BusConfig{TexelsPerCycle: *busRatio}
-			cfg.TriangleBuffer = *buffer
-			res, err := texsim.Simulate(sc, cfg)
-			if err != nil {
-				fail(fmt.Errorf("%s: %w", cfg.Name(), err))
-			}
-			var stall float64
-			for i := range res.Nodes {
-				stall += res.Nodes[i].StallCycles
-			}
-			rec := []string{
-				sc.Name, *dist,
-				strconv.Itoa(p), strconv.Itoa(size),
-				strconv.FormatFloat(res.Cycles, 'f', 0, 64),
-				strconv.FormatFloat(baseRes.Cycles/res.Cycles, 'f', 2, 64),
-				strconv.FormatFloat(res.TexelToFragment(), 'f', 3, 64),
-				strconv.FormatFloat(res.PixelImbalance(), 'f', 4, 64),
-				strconv.FormatFloat(stall, 'f', 0, 64),
-			}
-			if err := w.Write(rec); err != nil {
-				fail(err)
-			}
-		}
+	if *asJSON {
+		cliutil.Check("texsweep", sweep.WriteJSON(out, res))
+	} else {
+		cliutil.Check("texsweep", sweep.WriteCSV(out, res.Rows))
 	}
 }

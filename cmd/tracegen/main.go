@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/texsim"
 )
 
@@ -46,8 +47,7 @@ func main() {
 		return
 	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -o output file is required")
-		os.Exit(2)
+		cliutil.Usage("tracegen", "-o output file is required")
 	}
 
 	var (
@@ -71,28 +71,15 @@ func main() {
 			sc, err = b.Build()
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "tracegen: pass -scene <name> or -custom (use -list for names)")
-		os.Exit(2)
+		cliutil.Usage("tracegen", "pass -scene <name> or -custom (use -list for names)")
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
+	cliutil.Check("tracegen", err)
 
 	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
+	cliutil.Check("tracegen", err)
 	defer f.Close()
-	if err := texsim.WriteTrace(f, sc); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
+	cliutil.Check("tracegen", texsim.WriteTrace(f, sc))
+	cliutil.Check("tracegen", f.Close())
 	fmt.Printf("wrote %s: %d triangles, %d textures, %dx%d\n",
 		*out, len(sc.Triangles), len(sc.Textures), sc.Screen.Width(), sc.Screen.Height())
 }

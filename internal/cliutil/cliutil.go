@@ -1,0 +1,52 @@
+// Package cliutil holds the small flag-parsing and error-exit helpers that
+// were previously duplicated across the cmd/ tools.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseIntList parses a comma-separated list of integers ("1,4, 16"),
+// ignoring empty elements. An empty or all-blank list is an error: every
+// caller uses the result as a sweep axis, which must be non-empty.
+func ParseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// Fail prints "tool: err" to stderr and exits with status 1.
+func Fail(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// Check is Fail when err is non-nil and a no-op otherwise.
+func Check(tool string, err error) {
+	if err != nil {
+		Fail(tool, err)
+	}
+}
+
+// Usage prints "tool: msg" to stderr and exits with status 2 (flag-error
+// convention).
+func Usage(tool, msg string) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, msg)
+	os.Exit(2)
+}

@@ -1,0 +1,33 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIntList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"1,4,16", []int{1, 4, 16}, false},
+		{" 8 , 2 ", []int{8, 2}, false},
+		{"7", []int{7}, false},
+		{"1,,2", []int{1, 2}, false},
+		{"", nil, true},
+		{" , ", nil, true},
+		{"1,x", nil, true},
+		{"3.5", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseIntList(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseIntList(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if !c.err && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseIntList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestSimulateContextCancelled(t *testing.T) {
+	s := testScene(3, 400, 256)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, s, Config{Procs: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSimulateContextMatchesSimulate(t *testing.T) {
+	s := testScene(4, 200, 128)
+	cfg := Config{Procs: 8, TileSize: 8}
+	plain, err := Simulate(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cancellable (but never-cancelled) context takes the stepped run
+	// path; results must be bit-identical to the drain-the-queue path.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stepped, err := SimulateContext(ctx, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != stepped.Cycles || plain.Fragments != stepped.Fragments ||
+		plain.TrianglesRouted != stepped.TrianglesRouted {
+		t.Fatalf("stepped run diverged: %+v vs %+v", plain, stepped)
+	}
+}
+
+func TestSpeedupContextCancelled(t *testing.T) {
+	s := testScene(5, 100, 128)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := SpeedupContext(ctx, s, Config{Procs: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -311,12 +312,23 @@ func NewMachine(scene *trace.Scene, cfg Config) (*Machine, error) {
 // Run simulates the whole scene and returns the result. Run is
 // deterministic; calling it again re-runs from a cold machine.
 func (m *Machine) Run() *Result {
-	results, err := m.RunSequence([]*trace.Scene{m.scene})
+	res, err := m.RunContext(context.Background())
 	if err != nil {
-		// The machine's own scene always passes the sequence checks.
+		// The machine's own scene always passes the sequence checks, and a
+		// background context is never cancelled.
 		panic(err)
 	}
-	return results[0]
+	return res
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx between
+// event batches and returns ctx.Err() mid-frame when it fires.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	results, err := m.RunSequenceContext(ctx, []*trace.Scene{m.scene})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // RunSequence simulates consecutive frames that share the machine's texture
@@ -326,6 +338,11 @@ func (m *Machine) Run() *Result {
 // until the slowest finishes before the next frame's triangles flow.
 // Returned results hold per-frame counters and cycles.
 func (m *Machine) RunSequence(frames []*trace.Scene) ([]*Result, error) {
+	return m.RunSequenceContext(context.Background(), frames)
+}
+
+// RunSequenceContext is RunSequence with cancellation; see RunContext.
+func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene) ([]*Result, error) {
 	for i, f := range frames {
 		if err := f.Validate(); err != nil {
 			return nil, fmt.Errorf("core: frame %d: %w", i, err)
@@ -348,7 +365,9 @@ func (m *Machine) RunSequence(frames []*trace.Scene) ([]*Result, error) {
 	frameStart := 0.0
 	var results []*Result
 	for _, f := range frames {
-		m.runFrame(f)
+		if err := m.runFrame(ctx, f); err != nil {
+			return nil, err
+		}
 		res := &Result{Config: m.cfg, Scene: f.Name}
 		frameEnd := frameStart
 		for i, e := range m.engines {
@@ -373,8 +392,15 @@ func (m *Machine) RunSequence(frames []*trace.Scene) ([]*Result, error) {
 	return results, nil
 }
 
-// runFrame drives the event simulation of one frame's triangle stream.
-func (m *Machine) runFrame(f *trace.Scene) {
+// cancelCheckEvents is how many simulation events fire between context
+// polls: frequent enough that cancellation lands within microseconds of real
+// time, rare enough to stay invisible in profiles.
+const cancelCheckEvents = 1 << 14
+
+// runFrame drives the event simulation of one frame's triangle stream. A
+// cancelled context abandons the frame mid-flight and leaves the machine in
+// an undefined (but safely reusable-after-Reset) state.
+func (m *Machine) runFrame(ctx context.Context, f *trace.Scene) error {
 	s := sim.New()
 	d := newDistributor(s, m, f)
 	nodes := make([]*nodeProc, m.cfg.Procs)
@@ -385,7 +411,25 @@ func (m *Machine) runFrame(f *trace.Scene) {
 	for _, n := range nodes {
 		s.At(0, n.step)
 	}
-	s.Run()
+	if ctx.Done() == nil {
+		s.Run()
+	} else {
+		for {
+			ran := false
+			for i := 0; i < cancelCheckEvents; i++ {
+				if !s.Step() {
+					break
+				}
+				ran = true
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !ran {
+				break
+			}
+		}
+	}
 	if !d.done || d.next != len(f.Triangles) {
 		panic(fmt.Sprintf("core: simulation deadlock: distributed %d of %d triangles",
 			d.next, len(f.Triangles)))
@@ -394,6 +438,7 @@ func (m *Machine) runFrame(f *trace.Scene) {
 	for _, fifo := range d.fifos {
 		m.lastFIFOPeaks = append(m.lastFIFOPeaks, fifo.Peak)
 	}
+	return nil
 }
 
 // snapshot captures node i's cumulative counters.
@@ -421,24 +466,35 @@ func (m *Machine) snapshot(i int) NodeResult {
 
 // Simulate is the one-call convenience: build a machine and run the scene.
 func Simulate(scene *trace.Scene, cfg Config) (*Result, error) {
+	return SimulateContext(context.Background(), scene, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: long simulations return
+// ctx.Err() mid-run when the context fires.
+func SimulateContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Result, error) {
 	m, err := NewMachine(scene, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(), nil
+	return m.RunContext(ctx)
 }
 
 // Speedup runs the scene on 1 processor and on cfg, returning T1/TN along
 // with both results. The single-processor baseline keeps every other
 // parameter of cfg (cache, bus, buffer) identical, as the paper does.
 func Speedup(scene *trace.Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
+	return SpeedupContext(context.Background(), scene, cfg)
+}
+
+// SpeedupContext is Speedup with cancellation.
+func SpeedupContext(ctx context.Context, scene *trace.Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
 	base := cfg
 	base.Procs = 1
-	single, err = Simulate(scene, base)
+	single, err = SimulateContext(ctx, scene, base)
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	parallel, err = Simulate(scene, cfg)
+	parallel, err = SimulateContext(ctx, scene, cfg)
 	if err != nil {
 		return 0, nil, nil, err
 	}

@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/scene"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -71,11 +73,12 @@ func (r *Report) Format(w io.Writer) {
 	}
 }
 
-// Experiment couples an identifier with its runner.
+// Experiment couples an identifier with its runner. Runners honour ctx:
+// cancelling it abandons in-flight simulations and returns ctx.Err().
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) (*Report, error)
+	Run   func(context.Context, Options) (*Report, error)
 }
 
 // All returns every experiment in paper order.
@@ -116,7 +119,10 @@ var (
 )
 
 // buildScene constructs one benchmark scene at the option scale.
-func buildScene(name string, opt Options) (*trace.Scene, error) {
+func buildScene(ctx context.Context, name string, opt Options) (*trace.Scene, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	b, err := scene.ByName(name, opt.Scale)
 	if err != nil {
 		return nil, err
@@ -125,12 +131,12 @@ func buildScene(name string, opt Options) (*trace.Scene, error) {
 }
 
 // buildAllScenes constructs the full suite in parallel.
-func buildAllScenes(opt Options) (map[string]*trace.Scene, error) {
+func buildAllScenes(ctx context.Context, opt Options) (map[string]*trace.Scene, error) {
 	names := scene.Names()
 	out := make(map[string]*trace.Scene, len(names))
 	var mu sync.Mutex
-	err := forEachParallel(opt.Parallelism, len(names), func(i int) error {
-		s, err := buildScene(names[i], opt)
+	err := forEachParallel(ctx, opt.Parallelism, len(names), func(i int) error {
+		s, err := buildScene(ctx, names[i], opt)
 		if err != nil {
 			return err
 		}
@@ -142,52 +148,16 @@ func buildAllScenes(opt Options) (map[string]*trace.Scene, error) {
 	return out, err
 }
 
-// forEachParallel runs fn(0..n-1) on up to par goroutines and returns the
-// first error.
-func forEachParallel(par, n int, fn func(i int) error) error {
-	if par > n {
-		par = n
-	}
-	if par < 1 {
-		par = 1
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < par; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= n {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+// forEachParallel runs fn(0..n-1) on up to p goroutines and returns the
+// first error (shared with the sweep runner and texsimd worker pool via
+// internal/par).
+func forEachParallel(ctx context.Context, p, n int, fn func(i int) error) error {
+	return par.ForEach(ctx, p, n, fn)
 }
 
-// simulate runs one configuration, wrapping errors with context.
-func simulate(s *trace.Scene, cfg core.Config) (*core.Result, error) {
-	res, err := core.Simulate(s, cfg)
+// simulate runs one configuration, wrapping errors with simulation context.
+func simulate(ctx context.Context, s *trace.Scene, cfg core.Config) (*core.Result, error) {
+	res, err := core.SimulateContext(ctx, s, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("simulating %s on %s: %w", s.Name, cfg.Name(), err)
 	}

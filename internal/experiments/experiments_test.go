@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,7 +40,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestReportFormat(t *testing.T) {
-	rep, err := RunTable1(smokeOpt)
+	rep, err := RunTable1(context.Background(), smokeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func cellValue(t *testing.T, tab interface {
 }
 
 func TestFig5ImbalanceShape(t *testing.T) {
-	rep, err := RunFig5Imbalance(shapeOpt)
+	rep, err := RunFig5Imbalance(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestFig5ImbalanceShape(t *testing.T) {
 }
 
 func TestFig5SpeedupShape(t *testing.T) {
-	rep, err := RunFig5Speedup(shapeOpt)
+	rep, err := RunFig5Speedup(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestFig5SpeedupShape(t *testing.T) {
 }
 
 func TestFig6LocalityShape(t *testing.T) {
-	rep, err := RunFig6Locality(shapeOpt)
+	rep, err := RunFig6Locality(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestFig6LocalityShape(t *testing.T) {
 }
 
 func TestFig8BufferShape(t *testing.T) {
-	rep, err := RunFig8(shapeOpt)
+	rep, err := RunFig8(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestFig9WritesImages(t *testing.T) {
 	dir := t.TempDir()
 	opt := smokeOpt
 	opt.OutDir = dir
-	rep, err := RunFig9(opt)
+	rep, err := RunFig9(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full fig7 sweep is expensive")
 	}
-	rep, err := RunFig7(shapeOpt)
+	rep, err := RunFig7(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestForEachParallel(t *testing.T) {
 	seen := make([]bool, n)
 	var mu = make(chan struct{}, 1)
 	mu <- struct{}{}
-	err := forEachParallel(8, n, func(i int) error {
+	err := forEachParallel(context.Background(), 8, n, func(i int) error {
 		<-mu
 		seen[i] = true
 		mu <- struct{}{}
@@ -279,7 +280,7 @@ func TestForEachParallel(t *testing.T) {
 }
 
 func TestForEachParallelError(t *testing.T) {
-	err := forEachParallel(4, 50, func(i int) error {
+	err := forEachParallel(context.Background(), 4, 50, func(i int) error {
 		if i == 7 {
 			return os.ErrInvalid
 		}

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
 )
 
 func TestExtSortLastShape(t *testing.T) {
-	rep, err := RunExtSortLast(shapeOpt)
+	rep, err := RunExtSortLast(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestExtSortLastShape(t *testing.T) {
 }
 
 func TestExtOverlapShape(t *testing.T) {
-	rep, err := RunExtOverlap(shapeOpt)
+	rep, err := RunExtOverlap(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

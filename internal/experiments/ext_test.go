@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func pctCell(t *testing.T, tab interface{ String() string }, rowLabel string, co
 }
 
 func TestExtL2Shape(t *testing.T) {
-	rep, err := RunExtL2(shapeOpt)
+	rep, err := RunExtL2(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestExtL2Shape(t *testing.T) {
 }
 
 func TestExtDynamicShape(t *testing.T) {
-	rep, err := RunExtDynamic(shapeOpt)
+	rep, err := RunExtDynamic(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestExtDynamicShape(t *testing.T) {
 }
 
 func TestExtPrefetchShape(t *testing.T) {
-	rep, err := RunExtPrefetch(shapeOpt)
+	rep, err := RunExtPrefetch(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestExtPrefetchShape(t *testing.T) {
 }
 
 func TestExtCacheShape(t *testing.T) {
-	rep, err := RunExtCache(shapeOpt)
+	rep, err := RunExtCache(context.Background(), shapeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestExtCacheShape(t *testing.T) {
 }
 
 func TestReportsMentionScale(t *testing.T) {
-	rep, err := RunExtCache(smokeOpt)
+	rep, err := RunExtCache(context.Background(), smokeOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,10 +21,10 @@ var extPrefetchDepths = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // approach the pure-throughput bound. The paper adopts the Igehy result
 // that prefetching reaches zero-latency performance — this experiment shows
 // how much of the machine's speed that assumption carries.
-func RunExtPrefetch(opt Options) (*Report, error) {
+func RunExtPrefetch(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	const sceneName = "truc640"
-	s, err := buildScene(sceneName, opt)
+	s, err := buildScene(ctx, sceneName, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -34,9 +35,9 @@ func RunExtPrefetch(opt Options) (*Report, error) {
 	}
 	cells := make(map[int]res, len(extPrefetchDepths))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(extPrefetchDepths), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(extPrefetchDepths), func(i int) error {
 		depth := extPrefetchDepths[i]
-		r, err := simulate(s, core.Config{
+		r, err := simulate(ctx, s, core.Config{
 			Procs: 16, Distribution: distrib.BlockKind, TileSize: 16,
 			CacheKind:     core.CacheReal,
 			Bus:           memory.BusConfig{TexelsPerCycle: 1},
@@ -88,10 +89,10 @@ var (
 // RunExtCache ablates the node cache geometry on a single processor with an
 // infinite bus, measuring the texel-to-fragment ratio — re-examining the
 // Hakura–Gupta 16 KB/4-way operating point inside our framework.
-func RunExtCache(opt Options) (*Report, error) {
+func RunExtCache(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	const sceneName = "32massive11255"
-	s, err := buildScene(sceneName, opt)
+	s, err := buildScene(ctx, sceneName, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -105,9 +106,9 @@ func RunExtCache(opt Options) (*Report, error) {
 		}
 	}
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		k := jobs[i]
-		r, err := simulate(s, core.Config{
+		r, err := simulate(ctx, s, core.Config{
 			Procs: 1, CacheKind: core.CacheReal,
 			CacheConfig: cache.Config{SizeBytes: k.kb * 1024, Ways: k.ways, LineBytes: 64},
 		})

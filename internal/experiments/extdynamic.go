@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -14,9 +15,9 @@ import (
 // machine, how much does a dynamic tile queue gain over the static
 // interleave? The dynamic scheduler assumes whole-frame buffering, so its
 // numbers are the *upper bound* on what dynamic assignment could buy.
-func RunExtDynamic(opt Options) (*Report, error) {
+func RunExtDynamic(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -29,7 +30,7 @@ func RunExtDynamic(opt Options) (*Report, error) {
 	}
 	rows := make(map[string]row, len(names))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(names), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(names), func(i int) error {
 		s := scenes[names[i]]
 		cfg := core.Config{
 			Procs: procs, Distribution: distrib.BlockKind, TileSize: width,
@@ -37,11 +38,11 @@ func RunExtDynamic(opt Options) (*Report, error) {
 		}
 		base := cfg
 		base.Procs = 1
-		t1, err := simulate(s, base)
+		t1, err := simulate(ctx, s, base)
 		if err != nil {
 			return err
 		}
-		st, err := simulate(s, cfg)
+		st, err := simulate(ctx, s, cfg)
 		if err != nil {
 			return err
 		}

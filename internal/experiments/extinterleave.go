@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,9 +20,9 @@ var extInterleaveWidths = []int{16, 32, 64}
 // processor count (a vertical feature lands on one processor); a skewed
 // interleave rotates each tile row by one processor. The experiment compares
 // pixel-work imbalance of the two patterns at 64 processors.
-func RunExtInterleave(opt Options) (*Report, error) {
+func RunExtInterleave(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -42,9 +43,9 @@ func RunExtInterleave(opt Options) (*Report, error) {
 		}
 	}
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		k := jobs[i]
-		res, err := simulate(scenes[k.scene], core.Config{
+		res, err := simulate(ctx, scenes[k.scene], core.Config{
 			Procs: procs, Distribution: k.kind, TileSize: k.width,
 			CacheKind: core.CachePerfect,
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -27,12 +28,12 @@ var extL2Tiles = []int{16, 64}
 // pan smaller than the tile keeps each node's next-frame texels in its own
 // L2; a pan larger than the tile hands them to other nodes, whose L2s must
 // reload them from main memory.
-func RunExtL2(opt Options) (*Report, error) {
+func RunExtL2(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	const sceneName = "massive11255"
 	const procs = 16
 	const frames = 3
-	s, err := buildScene(sceneName, opt)
+	s, err := buildScene(ctx, sceneName, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func RunExtL2(opt Options) (*Report, error) {
 			jobs = append(jobs, key{tile, pan})
 		}
 	}
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		k := jobs[i]
 		m, err := core.NewMachine(s, core.Config{
 			Procs: procs, Distribution: distrib.BlockKind, TileSize: k.tile,
@@ -76,7 +77,7 @@ func RunExtL2(opt Options) (*Report, error) {
 			return err
 		}
 		seq := scene.PanSequence(s, frames, k.pan, 0)
-		results, err := m.RunSequence(seq)
+		results, err := m.RunSequenceContext(ctx, seq)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,9 +20,9 @@ var extOverlapWidths = []int{4, 8, 16, 32, 64}
 // routing, exactly what the machine's distributor does) against the
 // analytical expectation, plus the predicted share of machine work that is
 // triangle setup.
-func RunExtOverlap(opt Options) (*Report, error) {
+func RunExtOverlap(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +45,7 @@ func RunExtOverlap(opt Options) (*Report, error) {
 		}
 	}
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		k := jobs[i]
 		s := scenes[k.scene]
 		d, err := distrib.NewBlock(s.Screen, procs, k.width)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/core"
@@ -16,9 +17,9 @@ import (
 // keeps each object's texture on one node (better locality) but ties load
 // balance to object sizes and gives up strict OpenGL ordering — the paper's
 // §1 reason to build sort-middle anyway.
-func RunExtSortLast(opt Options) (*Report, error) {
+func RunExtSortLast(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -34,13 +35,13 @@ func RunExtSortLast(opt Options) (*Report, error) {
 	}
 	rows := make(map[string]row, len(names))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(names), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(names), func(i int) error {
 		s := scenes[names[i]]
-		base, err := simulate(s, core.Config{Procs: 1, CacheKind: core.CacheReal, Bus: bus})
+		base, err := simulate(ctx, s, core.Config{Procs: 1, CacheKind: core.CacheReal, Bus: bus})
 		if err != nil {
 			return err
 		}
-		middle, err := simulate(s, core.Config{
+		middle, err := simulate(ctx, s, core.Config{
 			Procs: procs, Distribution: distrib.BlockKind, TileSize: 16,
 			CacheKind: core.CacheReal, Bus: bus,
 		})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,9 +18,9 @@ const fig5Procs = 64
 // difference between the busiest and the average processor's pixel work, on
 // a 64-processor machine with a perfect cache, for every distribution
 // parameter and benchmark.
-func RunFig5Imbalance(opt Options) (*Report, error) {
+func RunFig5Imbalance(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -52,9 +53,9 @@ func RunFig5Imbalance(opt Options) (*Report, error) {
 	}
 	cells := make(map[cellKey]float64, len(jobs))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := simulate(scenes[j.name], j.cfg)
+		res, err := simulate(ctx, scenes[j.name], j.cfg)
 		if err != nil {
 			return err
 		}
@@ -103,15 +104,15 @@ var fig5SpeedupProcs = []int{1, 2, 4, 8, 16, 32, 48, 64}
 // RunFig5Speedup reproduces the bottom half of Figure 5: perfect-cache
 // speedup of 32massive11255 versus processor count for every distribution
 // parameter, exposing the small-triangle setup overhead of tiny tiles.
-func RunFig5Speedup(opt Options) (*Report, error) {
+func RunFig5Speedup(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	const sceneName = "32massive11255"
-	s, err := buildScene(sceneName, opt)
+	s, err := buildScene(ctx, sceneName, opt)
 	if err != nil {
 		return nil, err
 	}
 
-	base, err := simulate(s, core.Config{Procs: 1, CacheKind: core.CachePerfect})
+	base, err := simulate(ctx, s, core.Config{Procs: 1, CacheKind: core.CachePerfect})
 	if err != nil {
 		return nil, err
 	}
@@ -146,9 +147,9 @@ func RunFig5Speedup(opt Options) (*Report, error) {
 	}
 	cells := make(map[cellKey]float64, len(jobs))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := simulate(s, j.cfg)
+		res, err := simulate(ctx, s, j.cfg)
 		if err != nil {
 			return err
 		}

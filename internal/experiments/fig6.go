@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -24,7 +25,7 @@ var fig6Scenes = []string{"32massive11255", "teapot.full"}
 // RunFig6Locality reproduces Figure 6: the average external texel-to-
 // fragment bandwidth each node's 16 KB cache demands, versus processor
 // count, for every distribution parameter, on an infinite bus.
-func RunFig6Locality(opt Options) (*Report, error) {
+func RunFig6Locality(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 
 	type cellKey struct {
@@ -57,7 +58,7 @@ func RunFig6Locality(opt Options) (*Report, error) {
 
 	builtScenes := make(map[string]*trace.Scene, len(fig6Scenes))
 	for _, n := range fig6Scenes {
-		s, err := buildScene(n, opt)
+		s, err := buildScene(ctx, n, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -66,9 +67,9 @@ func RunFig6Locality(opt Options) (*Report, error) {
 
 	cells := make(map[cellKey]float64, len(jobs))
 	var mu sync.Mutex
-	err := forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err := forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := simulate(builtScenes[j.key.scene], j.cfg)
+		res, err := simulate(ctx, builtScenes[j.key.scene], j.cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -17,19 +18,19 @@ var fig7Procs = []int{4, 16, 64}
 // RunFig7 reproduces Figure 7: speedups of every benchmark on 4-, 16- and
 // 64-processor machines with 16 KB caches and a 1 texel/pixel bus, for both
 // distributions and all sizes.
-func RunFig7(opt Options) (*Report, error) {
-	return runFig7(opt, 1, "fig7", "Speedups with a bus ratio of 1 texel/pixel")
+func RunFig7(ctx context.Context, opt Options) (*Report, error) {
+	return runFig7(ctx, opt, 1, "fig7", "Speedups with a bus ratio of 1 texel/pixel")
 }
 
 // RunFig7Bus2 is the companion with the 2 texel/pixel bus, whose results the
 // paper defers to its technical report [15] and summarizes in §7.
-func RunFig7Bus2(opt Options) (*Report, error) {
-	return runFig7(opt, 2, "fig7-bus2", "Speedups with a bus ratio of 2 texels/pixel")
+func RunFig7Bus2(ctx context.Context, opt Options) (*Report, error) {
+	return runFig7(ctx, opt, 2, "fig7-bus2", "Speedups with a bus ratio of 2 texels/pixel")
 }
 
-func runFig7(opt Options, busRatio float64, id, title string) (*Report, error) {
+func runFig7(ctx context.Context, opt Options, busRatio float64, id, title string) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -40,8 +41,8 @@ func runFig7(opt Options, busRatio float64, id, title string) (*Report, error) {
 	// with one processor).
 	t1 := make(map[string]float64, len(names))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(names), func(i int) error {
-		res, err := simulate(scenes[names[i]], core.Config{
+	err = forEachParallel(ctx, opt.Parallelism, len(names), func(i int) error {
+		res, err := simulate(ctx, scenes[names[i]], core.Config{
 			Procs: 1, CacheKind: core.CacheReal, Bus: bus,
 		})
 		if err != nil {
@@ -84,9 +85,9 @@ func runFig7(opt Options, busRatio float64, id, title string) (*Report, error) {
 		}
 	}
 	cells := make(map[cellKey]float64, len(jobs))
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := simulate(scenes[j.key.scene], j.cfg)
+		res, err := simulate(ctx, scenes[j.key.scene], j.cfg)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -19,10 +20,10 @@ const fig8Procs = 64
 // RunFig8 reproduces Figure 8: speedup of truc640 on a 64-processor block
 // machine versus block width and triangle-buffer size, with a perfect cache
 // and with the 16 KB cache on a 2 texel/pixel bus.
-func RunFig8(opt Options) (*Report, error) {
+func RunFig8(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	const sceneName = "truc640"
-	s, err := buildScene(sceneName, opt)
+	s, err := buildScene(ctx, sceneName, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -41,7 +42,7 @@ func RunFig8(opt Options) (*Report, error) {
 	// with a single consumer fed by an instantaneous distributor).
 	t1 := make([]float64, len(variants))
 	for i, v := range variants {
-		res, err := simulate(s, core.Config{Procs: 1, CacheKind: v.cache, Bus: v.bus})
+		res, err := simulate(ctx, s, core.Config{Procs: 1, CacheKind: v.cache, Bus: v.bus})
 		if err != nil {
 			return nil, err
 		}
@@ -70,9 +71,9 @@ func RunFig8(opt Options) (*Report, error) {
 	}
 	cells := make(map[cellKey]float64, len(jobs))
 	var mu sync.Mutex
-	err = forEachParallel(opt.Parallelism, len(jobs), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(jobs), func(i int) error {
 		j := jobs[i]
-		res, err := simulate(s, j.cfg)
+		res, err := simulate(ctx, s, j.cfg)
 		if err != nil {
 			return err
 		}

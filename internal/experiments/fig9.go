@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,7 +17,7 @@ var fig9Scenes = []string{"teapot.full", "room3", "quake"}
 // RunFig9 renders depth-complexity images of the Figure 9 scenes as PGM
 // files (bright = high overdraw) — the closest reproducible analogue of the
 // paper's benchmark screenshots — and reports per-scene overdraw statistics.
-func RunFig9(opt Options) (*Report, error) {
+func RunFig9(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	if err := os.MkdirAll(opt.OutDir, 0o755); err != nil {
 		return nil, err
@@ -28,7 +29,7 @@ func RunFig9(opt Options) (*Report, error) {
 	}
 	var notes []string
 	for _, name := range fig9Scenes {
-		s, err := buildScene(name, opt)
+		s, err := buildScene(ctx, name, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/scene"
@@ -10,16 +11,16 @@ import (
 
 // RunTable1 measures every synthesized benchmark and prints it against the
 // paper's published characteristics.
-func RunTable1(opt Options) (*Report, error) {
+func RunTable1(ctx context.Context, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	scenes, err := buildAllScenes(opt)
+	scenes, err := buildAllScenes(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
 	area := opt.Scale * opt.Scale
 
 	measured := make([]trace.SceneStats, len(scene.Table1))
-	err = forEachParallel(opt.Parallelism, len(scene.Table1), func(i int) error {
+	err = forEachParallel(ctx, opt.Parallelism, len(scene.Table1), func(i int) error {
 		st, err := trace.Measure(scenes[scene.Table1[i].Name])
 		if err != nil {
 			return err

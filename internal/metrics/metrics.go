@@ -1,0 +1,332 @@
+// Package metrics is a dependency-free metrics registry exposing counters,
+// gauges and histograms in the Prometheus text exposition format. It exists
+// so texsimd can be scraped by standard tooling without pulling a client
+// library into a repository that is otherwise stdlib-only.
+//
+// Concurrency: every metric type is safe for concurrent use; hot-path
+// updates are single atomic operations (the histogram sum is a CAS loop).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by delta; negative deltas panic (a counter
+// never decreases — use a Gauge).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets, Prometheus-style.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefBuckets are the default latency buckets, in seconds.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one metric name with its help text and labelled children.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any // label-pair string -> *Counter/*Gauge/*Histogram
+	order    []string       // registration order of label keys
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as a different kind", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, buckets: buckets,
+		children: make(map[string]any)}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// labelString renders `name="value",...` pairs in the given order, escaping
+// per the exposition format.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslashes, quotes and newlines exactly as the
+		// exposition format requires.
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	return b.String()
+}
+
+func (f *family) child(labels string, make func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[labels]; ok {
+		return c
+	}
+	c := make()
+	f.children[labels] = c
+	f.order = append(f.order, labels)
+	return c
+}
+
+// Counter returns (registering on first use) the unlabelled counter `name`.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil)
+	return f.child("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the unlabelled gauge `name`.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil)
+	return f.child("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the unlabelled histogram `name` with the given bucket
+// upper bounds (nil = DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, kindHistogram, normBuckets(buckets))
+	return f.child("", func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+func normBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	out := append([]float64(nil), buckets...)
+	sort.Float64s(out)
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// CounterVec is a counter family with one label dimension set.
+type CounterVec struct {
+	f      *family
+	labels []string
+}
+
+// CounterVec returns a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, kindCounter, nil), labels: labelNames}
+}
+
+// With returns the counter for the given label values (created on first use).
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.f.name, len(v.labels), len(values)))
+	}
+	ls := labelString(v.labels, values)
+	return v.f.child(ls, func() any { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec is a histogram family with one label dimension set.
+type HistogramVec struct {
+	f      *family
+	labels []string
+}
+
+// HistogramVec returns a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, kindHistogram, normBuckets(buckets)), labels: labelNames}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.f.name, len(v.labels), len(values)))
+	}
+	ls := labelString(v.labels, values)
+	return v.f.child(ls, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// fnum renders a float the way the exposition format expects; %g avoids
+// trailing-zero noise in the scrape output.
+func fnum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus renders every registered family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		children := make([]any, len(order))
+		for i, ls := range order {
+			children[i] = f.children[ls]
+		}
+		f.mu.Unlock()
+
+		kind := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, kind); err != nil {
+			return err
+		}
+		for i, ls := range order {
+			if err := writeChild(w, f, ls, children[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, labels string, child any) error {
+	series := func(suffix, extraLabels string) string {
+		all := labels
+		if extraLabels != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extraLabels
+		}
+		if all == "" {
+			return f.name + suffix
+		}
+		return fmt.Sprintf("%s%s{%s}", f.name, suffix, all)
+	}
+	switch c := child.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s %d\n", series("", ""), c.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s %s\n", series("", ""), fnum(c.Value()))
+		return err
+	case *Histogram:
+		var cum int64
+		for i, bound := range c.bounds {
+			cum += c.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n",
+				series("_bucket", fmt.Sprintf("le=%q", fnum(bound))), cum); err != nil {
+				return err
+			}
+		}
+		cum += c.counts[len(c.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n", series("_bucket", `le="+Inf"`), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", series("_sum", ""), fnum(c.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %d\n", series("_count", ""), c.Count())
+		return err
+	}
+	return fmt.Errorf("metrics: unknown child type %T", child)
+}

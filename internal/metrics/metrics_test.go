@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs accepted.")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(3)
+	g.Add(-1)
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs accepted.",
+		"# TYPE jobs_total counter",
+		"jobs_total 5",
+		"# TYPE queue_depth gauge",
+		"queue_depth 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "")
+	b := r.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name returned different counters")
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("jobs_total", "Jobs by state.", "state")
+	v.With("done").Add(2)
+	v.With("failed").Inc()
+	v.With("done").Inc()
+
+	out := render(t, r)
+	if !strings.Contains(out, `jobs_total{state="done"} 3`) {
+		t.Errorf("missing done series:\n%s", out)
+	}
+	if !strings.Contains(out, `jobs_total{state="failed"} 1`) {
+		t.Errorf("missing failed series:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the exactly-equal 0.1
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+		"latency_seconds_sum 105.65",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("odd_total", "", "name")
+	v.With(`a"b\c`).Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `odd_total{name="a\"b\\c"} 1`) {
+		t.Errorf("labels not escaped:\n%s", out)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("counter = %d, want 16000", c.Value())
+	}
+	if g.Value() != 16000 {
+		t.Errorf("gauge = %v, want 16000", g.Value())
+	}
+	if h.Count() != 16000 || h.Sum() != 8000 {
+		t.Errorf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x", "")
+}

@@ -1,0 +1,59 @@
+// Package par is the shared bounded-parallelism helper used by the
+// experiments layer, the sweep runner and the texsimd service: a
+// context-aware parallel for-loop with first-error semantics.
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) on up to par goroutines and returns the first
+// error. Once an error occurs (or ctx is cancelled) no further indices are
+// started; in-flight calls run to completion. A cancelled context returns
+// ctx.Err() unless fn already failed first.
+func ForEach(ctx context.Context, par, n int, fn func(i int) error) error {
+	if par > n {
+		par = n
+	}
+	if par < 1 {
+		par = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					firstErr = err
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

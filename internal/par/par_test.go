@@ -1,0 +1,55 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsAll(t *testing.T) {
+	n := 100
+	seen := make([]atomic.Bool, n)
+	err := ForEach(context.Background(), 8, n, func(i int) error {
+		seen[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	want := errors.New("boom")
+	err := ForEach(context.Background(), 4, 50, func(i int) error {
+		if i == 7 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEach(ctx, 2, 1000, func(i int) error {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d items)", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package resultcache is a content-addressed cache for simulation results:
+// the service-level analogue of the paper's texture cache. Keys are a SHA-256
+// of the canonical JSON encoding of the full simulation request, so two
+// requests that would simulate the same machine on the same scene share one
+// entry — identical configs are served without re-simulating.
+//
+// The cache is an in-memory LRU with an optional write-through on-disk tier,
+// so a restarted service keeps its warm set (the L2 to the in-memory L1, to
+// keep the paper's framing).
+package resultcache
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key derives the canonical cache key of any JSON-encodable request value.
+// encoding/json writes struct fields in declaration order and sorts map
+// keys, so the encoding — and therefore the key — is deterministic. Any
+// field change produces a different key.
+func Key(v any) (string, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	// No HTML escaping: keys must not depend on a transport-safety detail.
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return "", fmt.Errorf("resultcache: encoding key: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Config sizes the cache.
+type Config struct {
+	// MaxEntries bounds the in-memory tier (0 = DefaultMaxEntries).
+	MaxEntries int
+	// Dir, when non-empty, enables the write-through on-disk tier; one file
+	// per entry, named by key. The directory is created if missing.
+	Dir string
+}
+
+// DefaultMaxEntries is the in-memory entry bound when Config.MaxEntries is 0.
+const DefaultMaxEntries = 256
+
+// Stats are cumulative cache counters.
+type Stats struct {
+	Hits      uint64 // Get served from memory or disk
+	Misses    uint64 // Get found nothing
+	Evictions uint64 // in-memory LRU evictions
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is the two-tier result cache. All methods are safe for concurrent
+// use.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	dir   string
+	lru   *list.List // front = most recent; values are *entry
+	byKey map[string]*list.Element
+	stats Stats
+}
+
+// New builds a cache; with a Dir it creates the directory eagerly so
+// misconfiguration fails at startup, not on the first Put.
+func New(cfg Config) (*Cache, error) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Cache{
+		max:   cfg.MaxEntries,
+		dir:   cfg.Dir,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element),
+	}, nil
+}
+
+// Get returns the cached bytes for key. A memory miss falls back to the disk
+// tier and promotes the entry on success.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if val, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.stats.Hits++
+			c.insertLocked(key, val)
+			c.mu.Unlock()
+			return val, true
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores val under key in memory and, when configured, on disk. The
+// slice is retained; callers must not mutate it afterwards.
+func (c *Cache) Put(key string, val []byte) error {
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil
+	}
+	// Atomic publish: never leave a half-written entry for a future Get.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}
+
+// insertLocked adds or refreshes the in-memory entry, evicting from the LRU
+// tail past capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key string, val []byte) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, val: val})
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.byKey, tail.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path maps a key to its disk file. Keys are hex digests, so they are safe
+// path components by construction.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

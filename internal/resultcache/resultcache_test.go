@@ -1,0 +1,146 @@
+package resultcache
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type demoSpec struct {
+	Scene string  `json:"scene"`
+	Scale float64 `json:"scale"`
+	Procs []int   `json:"procs"`
+}
+
+func TestKeyDeterministic(t *testing.T) {
+	a := demoSpec{Scene: "truc640", Scale: 0.5, Procs: []int{1, 4}}
+	b := demoSpec{Scene: "truc640", Scale: 0.5, Procs: []int{1, 4}}
+	ka, err := Key(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := Key(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("equal specs hash differently: %s vs %s", ka, kb)
+	}
+	if len(ka) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", ka)
+	}
+}
+
+func TestKeySensitiveToEveryField(t *testing.T) {
+	base := demoSpec{Scene: "truc640", Scale: 0.5, Procs: []int{1, 4}}
+	kBase, _ := Key(base)
+	variants := []demoSpec{
+		{Scene: "quake", Scale: 0.5, Procs: []int{1, 4}},
+		{Scene: "truc640", Scale: 0.25, Procs: []int{1, 4}},
+		{Scene: "truc640", Scale: 0.5, Procs: []int{1, 4, 16}},
+		{Scene: "truc640", Scale: 0.5, Procs: []int{4, 1}},
+	}
+	for i, v := range variants {
+		k, err := Key(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == kBase {
+			t.Errorf("variant %d collides with base: %+v", i, v)
+		}
+	}
+}
+
+func TestGetPutAndStats(t *testing.T) {
+	c, err := New(Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("k")
+	if !ok || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 miss", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New(Config{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // refresh a; b is now the LRU tail
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{MaxEntries: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := Key(demoSpec{Scene: "room3"})
+	if err := c1.Put(key, []byte(`{"rows":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh cache over the same directory serves the entry from disk.
+	c2, err := New(Config{MaxEntries: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok || string(got) != `{"rows":[]}` {
+		t.Fatalf("disk tier miss: %q, %v", got, ok)
+	}
+	if c2.Len() != 1 {
+		t.Fatal("disk hit not promoted to memory")
+	}
+	// No stray temp files left behind.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "put-*"))
+	if len(tmps) != 0 {
+		t.Fatalf("leftover temp files: %v", tmps)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New(Config{MaxEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("corrupt value %q for key %q", v, k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /api/v1/jobs             submit a job (202; 429 queue full; 503 draining)
+//	GET    /api/v1/jobs             list jobs in submission order
+//	GET    /api/v1/jobs/{id}        job status
+//	GET    /api/v1/jobs/{id}/result result payload of a done job
+//	DELETE /api/v1/jobs/{id}        cancel a queued or running job
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// jobView is the wire shape of a job record.
+type jobView struct {
+	ID          string  `json:"id"`
+	Type        string  `json:"type"`
+	Status      Status  `json:"status"`
+	FromCache   bool    `json:"from_cache,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	SubmittedAt string  `json:"submitted_at"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	DurationSec float64 `json:"duration_seconds,omitempty"`
+	ResultURL   string  `json:"result_url,omitempty"`
+}
+
+func viewOf(j *job) jobView {
+	v := jobView{
+		ID:          j.id,
+		Type:        j.req.Type,
+		Status:      j.status,
+		FromCache:   j.fromCache,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted.Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			v.DurationSec = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if j.status == StatusDone {
+		v.ResultURL = fmt.Sprintf("/api/v1/jobs/%s/result", j.id)
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // nothing useful to do with a write error mid-response
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	j, err := s.Submit(&req)
+	if err != nil {
+		var se *submitError
+		if errors.As(err, &se) {
+			if se.code == http.StatusTooManyRequests {
+				// Back-pressure: tell well-behaved clients when to retry.
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, se.code, se.err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	v, _ := s.snapshot(j.id)
+	writeJSON(w, http.StatusAccepted, viewOf(&v))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.list()
+	views := make([]jobView, len(jobs))
+	for i := range jobs {
+		views[i] = viewOf(&jobs[i])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(&j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	switch j.status {
+	case StatusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(j.result)
+	case StatusFailed, StatusCanceled:
+		writeError(w, http.StatusGone, fmt.Errorf("job %s %s: %s", j.id, j.status, j.errMsg))
+	default:
+		// Not ready yet; point the client back at the status endpoint.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.id, j.status))
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		return
+	}
+	j, _ := s.snapshot(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "status_at_cancel": st, "job": viewOf(&j),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.jobs)
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "jobs": n})
+}

@@ -1,0 +1,502 @@
+// Package service implements texsimd's simulation service: a REST API over
+// a bounded job queue and worker pool, fronted by a content-addressed result
+// cache and instrumented with Prometheus-style metrics.
+//
+// Lifecycle of a job: POST /api/v1/jobs validates the request and enqueues
+// it (429 when the queue is full, 503 while draining); a worker picks it up,
+// serves it from the result cache when an identical request has already been
+// simulated, and otherwise runs the simulation under a per-job
+// (cancellable, optionally timed-out) context. Clients poll
+// GET /api/v1/jobs/{id} and fetch GET /api/v1/jobs/{id}/result.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/resultcache"
+	"repro/internal/sweep"
+)
+
+// Config tunes the service. Zero values mean the documented defaults.
+type Config struct {
+	// Workers is the worker-pool size (0 = NumCPU).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (0 = 64).
+	QueueDepth int
+	// JobTimeout caps one job's run time (0 = unlimited).
+	JobTimeout time.Duration
+	// Parallelism bounds concurrent simulations inside one job (0 = 1:
+	// cross-job parallelism comes from the worker pool).
+	Parallelism int
+	// Cache, when nil, is replaced by an in-memory cache with default
+	// capacity.
+	Cache *resultcache.Cache
+	// Metrics, when nil, is replaced by a fresh registry. The registry is
+	// what GET /metrics renders.
+	Metrics *metrics.Registry
+	// OutDir is where image-producing experiment jobs write files
+	// (default "out").
+	OutDir string
+	// Logf, when non-nil, receives one line per job state change.
+	Logf func(format string, args ...any)
+
+	// runOverride replaces job execution in tests.
+	runOverride func(ctx context.Context, req *Request) ([]byte, error)
+}
+
+// Request is the submit-endpoint body: exactly one of Sweep or Experiment
+// must be set, matching Type.
+type Request struct {
+	// Type is "sweep" or "experiment".
+	Type string `json:"type"`
+	// Sweep runs a parameter sweep (see sweep.Spec for defaults).
+	Sweep *sweep.Spec `json:"sweep,omitempty"`
+	// Experiment reproduces one paper table/figure by ID.
+	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+}
+
+// ExperimentSpec names a paper experiment.
+type ExperimentSpec struct {
+	// ID is an experiment identifier (texbench -list).
+	ID string `json:"id"`
+	// Scale is the scene resolution scale (0 = 0.5).
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// normalize defaults the request in place so that equivalent submissions
+// share one cache key, and validates it.
+func (r *Request) normalize() error {
+	switch r.Type {
+	case "sweep":
+		if r.Sweep == nil || r.Experiment != nil {
+			return fmt.Errorf("type %q requires exactly the sweep field", r.Type)
+		}
+		*r.Sweep = r.Sweep.WithDefaults()
+		return r.Sweep.Validate()
+	case "experiment":
+		if r.Experiment == nil || r.Sweep != nil {
+			return fmt.Errorf("type %q requires exactly the experiment field", r.Type)
+		}
+		if r.Experiment.Scale == 0 {
+			r.Experiment.Scale = 0.5
+		}
+		if r.Experiment.Scale < 0 || r.Experiment.Scale > 1 {
+			return fmt.Errorf("experiment scale %v out of (0, 1]", r.Experiment.Scale)
+		}
+		if _, ok := experiments.ByID(r.Experiment.ID); !ok {
+			return fmt.Errorf("unknown experiment %q", r.Experiment.ID)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown job type %q (sweep or experiment)", r.Type)
+	}
+}
+
+// scene labels the request for the per-scene latency metric.
+func (r *Request) scene() string {
+	switch r.Type {
+	case "sweep":
+		return r.Sweep.Scene
+	case "experiment":
+		return "exp:" + r.Experiment.ID
+	}
+	return "unknown"
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job states, in order.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// job is the internal record; jobView is its wire shape.
+type job struct {
+	id        string
+	req       *Request
+	key       string          // result-cache key
+	ctx       context.Context // cancelled by Cancel/Close; basis of the run context
+	status    Status
+	errMsg    string
+	result    []byte // JSON payload once done
+	fromCache bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // non-nil from submission until finish
+}
+
+// Server is the simulation service. Create with New, expose with Handler,
+// stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg   Config
+	reg   *metrics.Registry
+	cache *resultcache.Cache
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	queue    chan *job
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	seq      uint64
+	draining bool
+
+	mSubmitted *metrics.CounterVec // by type
+	mCompleted *metrics.CounterVec // by final status
+	mRejected  *metrics.Counter
+	mPanics    *metrics.Counter
+	mQueued    *metrics.Gauge
+	mRunning   *metrics.Gauge
+	mCacheHit  *metrics.Counter
+	mCacheMiss *metrics.Counter
+	mSimCycles *metrics.Counter
+	mCPS       *metrics.Gauge
+	mDuration  *metrics.HistogramVec // by scene
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	if cfg.OutDir == "" {
+		cfg.OutDir = "out"
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Cache == nil {
+		var err error
+		cfg.Cache, err = resultcache.New(resultcache.Config{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		cache:      cfg.Cache,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+	}
+	r := s.reg
+	s.mSubmitted = r.CounterVec("texsimd_jobs_submitted_total", "Jobs accepted into the queue.", "type")
+	s.mCompleted = r.CounterVec("texsimd_jobs_completed_total", "Jobs finished, by final status.", "status")
+	s.mRejected = r.Counter("texsimd_jobs_rejected_total", "Submissions rejected because the queue was full.")
+	s.mPanics = r.Counter("texsimd_worker_panics_total", "Worker panics isolated (job marked failed).")
+	s.mQueued = r.Gauge("texsimd_jobs_queued", "Jobs waiting in the queue.")
+	s.mRunning = r.Gauge("texsimd_jobs_running", "Jobs currently simulating.")
+	s.mCacheHit = r.Counter("texsimd_result_cache_hits_total", "Jobs answered from the result cache without simulating.")
+	s.mCacheMiss = r.Counter("texsimd_result_cache_misses_total", "Jobs that had to simulate.")
+	s.mSimCycles = r.Counter("texsimd_simulated_cycles_total", "Simulated machine cycles across completed sweep jobs.")
+	s.mCPS = r.Gauge("texsimd_simulated_cycles_per_second", "Simulated cycles per wall-second of the most recent uncached sweep job.")
+	s.mDuration = r.HistogramVec("texsimd_job_duration_seconds", "Job wall time from start to finish.", nil, "scene")
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates, registers and enqueues a request. It returns the job
+// record, or an error classified by errSubmit.
+func (s *Server) Submit(req *Request) (*job, error) {
+	if err := req.normalize(); err != nil {
+		return nil, &submitError{code: 400, err: err}
+	}
+	key, err := resultcache.Key(req)
+	if err != nil {
+		return nil, &submitError{code: 400, err: err}
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, &submitError{code: 503, err: fmt.Errorf("service is draining")}
+	}
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.seq),
+		req:       req,
+		key:       key,
+		ctx:       ctx,
+		status:    StatusQueued,
+		submitted: time.Now(),
+		cancel:    cancel,
+	}
+	// The push happens under s.mu so it cannot race with Drain closing the
+	// queue; it is non-blocking, so the lock is never held for long.
+	select {
+	case s.queue <- j:
+	default:
+		s.seq-- // unused ID
+		s.mu.Unlock()
+		cancel()
+		s.mRejected.Inc()
+		return nil, &submitError{code: 429, err: fmt.Errorf("job queue full (%d queued)", cap(s.queue))}
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	s.mSubmitted.With(req.Type).Inc()
+	s.mQueued.Set(float64(len(s.queue)))
+	s.logf("texsimd: %s queued (%s, key %.12s…)", j.id, req.Type, key)
+	return j, nil
+}
+
+// submitError couples a submit failure with its HTTP status code.
+type submitError struct {
+	code int
+	err  error
+}
+
+func (e *submitError) Error() string { return e.err.Error() }
+func (e *submitError) Unwrap() error { return e.err }
+
+// worker consumes jobs until the queue closes (Drain) or the base context
+// dies (Close).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job with panic isolation.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+	s.mQueued.Set(float64(len(s.queue)))
+	s.mRunning.Add(1)
+	defer s.mRunning.Add(-1)
+
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	payload, fromCache, err := func() (payload []byte, fromCache bool, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.mPanics.Inc()
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		if cached, ok := s.cache.Get(j.key); ok {
+			s.mCacheHit.Inc()
+			return cached, true, nil
+		}
+		s.mCacheMiss.Inc()
+		payload, err = s.execute(ctx, j.req)
+		if err != nil {
+			return nil, false, err
+		}
+		if cerr := s.cache.Put(j.key, payload); cerr != nil {
+			// A cold disk tier is an availability loss, not a job failure.
+			s.logf("texsimd: %s: result cache write failed: %v", j.id, cerr)
+		}
+		return payload, false, nil
+	}()
+
+	now := time.Now()
+	wall := now.Sub(j.started).Seconds()
+	s.mDuration.With(j.req.scene()).Observe(wall)
+
+	s.mu.Lock()
+	j.finished = now
+	j.fromCache = fromCache
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = payload
+	case ctx.Err() != nil:
+		// Cancelled via DELETE, shutdown, or the per-job timeout.
+		j.status = StatusCanceled
+		j.errMsg = err.Error()
+	default:
+		j.status = StatusFailed
+		j.errMsg = err.Error()
+	}
+	final := j.status
+	j.cancel()
+	s.mu.Unlock()
+
+	s.mCompleted.With(string(final)).Inc()
+	if err == nil && !fromCache && j.req.Type == "sweep" {
+		var res sweep.Result
+		if json.Unmarshal(payload, &res) == nil {
+			s.mSimCycles.Add(int64(res.SimulatedCycles))
+			if wall > 0 {
+				s.mCPS.Set(res.SimulatedCycles / wall)
+			}
+		}
+	}
+	s.logf("texsimd: %s %s in %.2fs (cache hit: %v)", j.id, final, wall, fromCache)
+}
+
+// execute runs the actual simulation work and returns the result payload.
+func (s *Server) execute(ctx context.Context, req *Request) ([]byte, error) {
+	if s.cfg.runOverride != nil {
+		return s.cfg.runOverride(ctx, req)
+	}
+	switch req.Type {
+	case "sweep":
+		res, err := sweep.Run(ctx, *req.Sweep, s.cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	case "experiment":
+		e, _ := experiments.ByID(req.Experiment.ID)
+		rep, err := e.Run(ctx, experiments.Options{
+			Scale:       req.Experiment.Scale,
+			Parallelism: s.cfg.Parallelism,
+			OutDir:      s.cfg.OutDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("unknown job type %q", req.Type)
+}
+
+// Cancel cancels a job: queued jobs never run, running jobs have their
+// context cancelled. Finished jobs are left untouched (reported by the
+// returned status).
+func (s *Server) Cancel(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", false
+	}
+	st := j.status
+	if st == StatusQueued {
+		j.status = StatusCanceled
+		j.finished = time.Now()
+		j.errMsg = "canceled before start"
+	}
+	cancel := j.cancel
+	s.mu.Unlock()
+
+	if st == StatusQueued {
+		s.mCompleted.With(string(StatusCanceled)).Inc()
+		return StatusCanceled, true
+	}
+	if st == StatusRunning {
+		cancel() // runJob records the terminal state
+	}
+	return st, true
+}
+
+// Drain stops accepting jobs, lets queued and running jobs finish, and
+// returns when the pool is idle. If ctx expires first, running jobs are
+// cancelled and Drain waits for them to acknowledge before returning
+// ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("service: already draining")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close cancels everything immediately and waits for workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// snapshot returns a copy of the job record for rendering.
+func (s *Server) snapshot(id string) (job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return job{}, false
+	}
+	return *j, true
+}
+
+// list returns snapshots of all jobs in submission order.
+func (s *Server) list() []job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}

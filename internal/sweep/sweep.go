@@ -1,0 +1,266 @@
+// Package sweep runs parameter sweeps over the simulator: the cross product
+// of processor counts and tile sizes for one scene and distribution, each
+// configuration reported as one Row. It is the shared engine behind the
+// texsweep CLI (CSV/JSON output) and the texsimd service (sweep jobs), so
+// both produce identical rows for identical specs.
+package sweep
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/memory"
+	"repro/internal/par"
+	"repro/internal/scene"
+)
+
+// Spec describes one sweep: a scene plus the machine axes. The zero values
+// of optional fields mean paper defaults (see WithDefaults). Spec is the
+// canonical cache identity of a sweep — every field participates in the
+// result-cache key, so any change re-simulates.
+type Spec struct {
+	// Scene is a paper benchmark name (see texsim.BenchmarkNames).
+	Scene string `json:"scene"`
+	// Scale is the scene resolution scale (0 = 0.5, the experiments default).
+	Scale float64 `json:"scale,omitempty"`
+	// Dist is "block", "sli" or "blockskewed" ("" = "block").
+	Dist string `json:"dist,omitempty"`
+	// Procs are the processor counts to sweep (empty = 1,4,16,64).
+	Procs []int `json:"procs,omitempty"`
+	// Sizes are the tile sizes to sweep (empty = 4,8,16,32,64).
+	Sizes []int `json:"sizes,omitempty"`
+	// Bus is the texture-bus bandwidth in texels per pixel-cycle (0 keeps
+	// the zero meaning of BusConfig: infinite).
+	Bus float64 `json:"bus,omitempty"`
+	// Cache is "real", "perfect" or "none" ("" = "real").
+	Cache string `json:"cache,omitempty"`
+	// Buffer is the triangle-buffer depth (0 = paper default).
+	Buffer int `json:"buffer,omitempty"`
+}
+
+// WithDefaults returns the spec with unset axes replaced by the defaults
+// documented on Spec.
+func (s Spec) WithDefaults() Spec {
+	if s.Scale == 0 {
+		s.Scale = 0.5
+	}
+	if s.Dist == "" {
+		s.Dist = "block"
+	}
+	if len(s.Procs) == 0 {
+		s.Procs = []int{1, 4, 16, 64}
+	}
+	if len(s.Sizes) == 0 {
+		s.Sizes = []int{4, 8, 16, 32, 64}
+	}
+	if s.Cache == "" {
+		s.Cache = "real"
+	}
+	return s
+}
+
+// Validate rejects specs the simulator would reject, with CLI/API-friendly
+// messages. It validates the defaulted form.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	if _, err := scene.ByName(s.Scene, s.Scale); err != nil {
+		return fmt.Errorf("%w (known: %v)", err, scene.Names())
+	}
+	if _, err := distKind(s.Dist); err != nil {
+		return err
+	}
+	if _, err := cacheKind(s.Cache); err != nil {
+		return err
+	}
+	for _, p := range s.Procs {
+		if p <= 0 {
+			return fmt.Errorf("procs: %d must be positive", p)
+		}
+	}
+	for _, w := range s.Sizes {
+		if w <= 0 {
+			return fmt.Errorf("sizes: %d must be positive", w)
+		}
+	}
+	if s.Bus < 0 {
+		return fmt.Errorf("bus: %v must be non-negative", s.Bus)
+	}
+	if s.Buffer < 0 {
+		return fmt.Errorf("buffer: %d must be non-negative", s.Buffer)
+	}
+	return nil
+}
+
+func distKind(name string) (distrib.Kind, error) {
+	switch name {
+	case "block":
+		return distrib.BlockKind, nil
+	case "sli":
+		return distrib.SLIKind, nil
+	case "blockskewed":
+		return distrib.BlockSkewedKind, nil
+	default:
+		return 0, fmt.Errorf("unknown distribution %q (block, sli or blockskewed)", name)
+	}
+}
+
+func cacheKind(name string) (core.CacheKind, error) {
+	switch name {
+	case "real":
+		return core.CacheReal, nil
+	case "perfect":
+		return core.CachePerfect, nil
+	case "none":
+		return core.CacheNone, nil
+	default:
+		return 0, fmt.Errorf("unknown cache model %q (real, perfect or none)", name)
+	}
+}
+
+// Row is one configuration's results: the texsweep CSV columns, and the row
+// shape texsimd sweep jobs return as JSON.
+type Row struct {
+	Scene          string  `json:"scene"`
+	Dist           string  `json:"dist"`
+	Procs          int     `json:"procs"`
+	Size           int     `json:"size"`
+	Cycles         float64 `json:"cycles"`
+	Speedup        float64 `json:"speedup"`
+	TexelPerFrag   float64 `json:"texel_per_frag"`
+	PixelImbalance float64 `json:"pixel_imbalance"`
+	StallCycles    float64 `json:"stall_cycles"`
+}
+
+// Result is a completed sweep: the defaulted spec it ran plus its rows in
+// deterministic (procs-major, then size) order.
+type Result struct {
+	Spec Spec  `json:"spec"`
+	Rows []Row `json:"rows"`
+	// SimulatedCycles is the total simulated time across all
+	// configurations, the numerator of the service's cycles-per-wall-second
+	// throughput metric.
+	SimulatedCycles float64 `json:"simulated_cycles"`
+}
+
+// Run executes the sweep on up to parallelism concurrent simulations
+// (<=0 = sequential). Row order is independent of parallelism; cancelling
+// ctx abandons unstarted configurations and returns ctx.Err().
+func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	dk, _ := distKind(spec.Dist)
+	ck, _ := cacheKind(spec.Cache)
+
+	b, err := scene.ByName(spec.Scene, spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	mkConfig := func(procs, size int) core.Config {
+		return core.Config{
+			Procs:          procs,
+			Distribution:   dk,
+			TileSize:       size,
+			CacheKind:      ck,
+			Bus:            memory.BusConfig{TexelsPerCycle: spec.Bus},
+			TriangleBuffer: spec.Buffer,
+		}
+	}
+
+	// One-processor baseline for the speedup column; with one processor
+	// every tile maps to node 0, so the tile size is irrelevant and one
+	// baseline serves all rows.
+	baseRes, err := core.SimulateContext(ctx, sc, mkConfig(1, spec.Sizes[0]))
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct{ procs, size int }
+	var jobs []job
+	for _, p := range spec.Procs {
+		for _, w := range spec.Sizes {
+			jobs = append(jobs, job{p, w})
+		}
+	}
+	rows := make([]Row, len(jobs))
+	err = par.ForEach(ctx, parallelism, len(jobs), func(i int) error {
+		cfg := mkConfig(jobs[i].procs, jobs[i].size)
+		res, err := core.SimulateContext(ctx, sc, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name(), err)
+		}
+		var stall float64
+		for n := range res.Nodes {
+			stall += res.Nodes[n].StallCycles
+		}
+		rows[i] = Row{
+			Scene:          sc.Name,
+			Dist:           spec.Dist,
+			Procs:          jobs[i].procs,
+			Size:           jobs[i].size,
+			Cycles:         res.Cycles,
+			Speedup:        baseRes.Cycles / res.Cycles,
+			TexelPerFrag:   res.TexelToFragment(),
+			PixelImbalance: res.PixelImbalance(),
+			StallCycles:    stall,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Spec: spec, Rows: rows}
+	for i := range rows {
+		out.SimulatedCycles += rows[i].Cycles
+	}
+	return out, nil
+}
+
+// CSVHeader is the column order of WriteCSV, matching Row's fields.
+var CSVHeader = []string{"scene", "dist", "procs", "size", "cycles",
+	"speedup", "texel_per_frag", "pixel_imbalance", "stall_cycles"}
+
+// WriteCSV writes the rows as RFC-4180 CSV with a header line — the
+// texsweep output format.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(CSVHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Scene, r.Dist,
+			strconv.Itoa(r.Procs), strconv.Itoa(r.Size),
+			strconv.FormatFloat(r.Cycles, 'f', 0, 64),
+			strconv.FormatFloat(r.Speedup, 'f', 2, 64),
+			strconv.FormatFloat(r.TexelPerFrag, 'f', 3, 64),
+			strconv.FormatFloat(r.PixelImbalance, 'f', 4, 64),
+			strconv.FormatFloat(r.StallCycles, 'f', 0, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the full result (spec + rows) as one indented JSON
+// document, byte-identical to what the texsimd result endpoint serves.
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// tinySpec keeps test sweeps fast: one small scene, four configurations.
+var tinySpec = Spec{
+	Scene: "truc640",
+	Scale: 0.2,
+	Procs: []int{1, 4},
+	Sizes: []int{8, 16},
+	Cache: "perfect",
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Spec{
+		{Scene: "nope"},
+		{Scene: "truc640", Dist: "diagonal"},
+		{Scene: "truc640", Cache: "huge"},
+		{Scene: "truc640", Procs: []int{0}},
+		{Scene: "truc640", Sizes: []int{-4}},
+		{Scene: "truc640", Bus: -1},
+		{Scene: "truc640", Buffer: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+	if err := (Spec{Scene: "truc640"}).Validate(); err != nil {
+		t.Errorf("minimal spec rejected: %v", err)
+	}
+}
+
+func TestRunRowShape(t *testing.T) {
+	res, err := Run(context.Background(), tinySpec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// Deterministic procs-major order.
+	wantOrder := [][2]int{{1, 8}, {1, 16}, {4, 8}, {4, 16}}
+	for i, r := range res.Rows {
+		if r.Procs != wantOrder[i][0] || r.Size != wantOrder[i][1] {
+			t.Errorf("row %d = p%d/w%d, want p%d/w%d", i, r.Procs, r.Size,
+				wantOrder[i][0], wantOrder[i][1])
+		}
+		if r.Cycles <= 0 || r.Speedup <= 0 {
+			t.Errorf("row %d has non-positive cycles/speedup: %+v", i, r)
+		}
+	}
+	// The 1-processor row against the baseline is speedup 1 by definition.
+	if res.Rows[0].Speedup != 1 {
+		t.Errorf("1-proc speedup = %v, want 1", res.Rows[0].Speedup)
+	}
+	if res.SimulatedCycles <= 0 {
+		t.Error("SimulatedCycles not accumulated")
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	seq, err := Run(context.Background(), tinySpec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := Run(context.Background(), tinySpec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Rows, parl.Rows) {
+		t.Fatalf("parallel rows diverge:\nseq: %+v\npar: %+v", seq.Rows, parl.Rows)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, tinySpec, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res, err := Run(context.Background(), tinySpec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, res.Rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d CSV lines, want header + 4 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != strings.Join(CSVHeader, ",") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "truc640,block,1,8,") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	res, err := Run(context.Background(), tinySpec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, back.Rows) {
+		t.Fatal("rows did not survive the JSON round trip")
+	}
+	if back.Spec.Scene != "truc640" || back.Spec.Dist != "block" {
+		t.Errorf("spec not embedded: %+v", back.Spec)
+	}
+}

@@ -25,6 +25,7 @@
 package texsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -112,6 +113,13 @@ func Simulate(s *Scene, cfg Config) (*Result, error) {
 	return core.Simulate(s, cfg)
 }
 
+// SimulateContext is Simulate with cancellation: a long simulation returns
+// ctx.Err() mid-run when the context is cancelled or times out. Machine
+// exposes the same via RunContext/RunSequenceContext.
+func SimulateContext(ctx context.Context, s *Scene, cfg Config) (*Result, error) {
+	return core.SimulateContext(ctx, s, cfg)
+}
+
 // NewMachine builds a reusable machine for repeated runs of one scene.
 func NewMachine(s *Scene, cfg Config) (*Machine, error) {
 	return core.NewMachine(s, cfg)
@@ -121,6 +129,11 @@ func NewMachine(s *Scene, cfg Config) (*Machine, error) {
 // (all other parameters equal) and returns T1/TN with both results.
 func Speedup(s *Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
 	return core.Speedup(s, cfg)
+}
+
+// SpeedupContext is Speedup with cancellation; see SimulateContext.
+func SpeedupContext(ctx context.Context, s *Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
+	return core.SpeedupContext(ctx, s, cfg)
 }
 
 // Measure rasterizes the scene once and returns its Table 1 row: fragments,
