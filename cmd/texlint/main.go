@@ -1,0 +1,230 @@
+// Command texlint runs the repository's static-analysis suite (see
+// internal/analysis): determinism, ctxfirst, locksafe and metriclint, each
+// scoped to the packages whose invariants it guards.
+//
+// Standalone (the CI entry point):
+//
+//	go run ./cmd/texlint ./...
+//
+// As a go vet tool (diagnostics integrate with vet's output and caching):
+//
+//	go build -o texlint ./cmd/texlint
+//	go vet -vettool=./texlint ./...
+//
+// Exit status is non-zero when any diagnostic is reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/metriclint"
+)
+
+// scoped pairs an analyzer with the import paths it applies to.
+type scoped struct {
+	analyzer *framework.Analyzer
+	inScope  func(importPath string) bool
+}
+
+// determinismScope lists the simulator packages under the result-cache
+// soundness contract: everything between a config and a result document.
+// internal/scene is included because synthetic scenes feed cache-keyed
+// sweeps — a nondeterministic generator poisons every downstream result.
+var determinismScope = map[string]bool{
+	"repro/internal/core":    true,
+	"repro/internal/cache":   true,
+	"repro/internal/distrib": true,
+	"repro/internal/engine":  true,
+	"repro/internal/geom":    true,
+	"repro/internal/memory":  true,
+	"repro/internal/overlap": true,
+	"repro/internal/raster":  true,
+	"repro/internal/scene":   true,
+	"repro/internal/sim":     true,
+	"repro/internal/stats":   true,
+	"repro/internal/sweep":   true,
+	"repro/internal/texture": true,
+	"repro/internal/trace":   true,
+}
+
+func suite() []scoped {
+	return []scoped{
+		{determinism.Analyzer, func(p string) bool { return determinismScope[p] }},
+		{ctxfirst.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/internal/") }},
+		{locksafe.Analyzer, func(p string) bool { return p == "repro/internal/service" }},
+		{metriclint.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/") }},
+	}
+}
+
+func main() {
+	// go vet protocol: version and flag probes, then one .cfg invocation
+	// per package.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		fmt.Println("texlint version texlint-1.0")
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]") // no tool-specific flags to hand to go vet
+		return
+	}
+	if len(os.Args) >= 2 && strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		runVet(os.Args[len(os.Args)-1])
+		return
+	}
+
+	list := flag.Bool("list", false, "list the analyzers and their scopes, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: texlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the texlint analyzers over the given package patterns (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, s := range suite() {
+			fmt.Printf("%-12s %s\n", s.analyzer.Name, s.analyzer.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		total += reportPackage(pkg, false)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "texlint: %d diagnostic(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// reportPackage runs the in-scope analyzers and prints the diagnostics,
+// returning how many were reported. With skipTests set, diagnostics landing
+// in _test.go files are dropped (tests legitimately read clocks and mint
+// root contexts).
+func reportPackage(pkg *framework.Package, skipTests bool) int {
+	var analyzers []*framework.Analyzer
+	for _, s := range suite() {
+		if s.inScope(pkg.ImportPath) {
+			analyzers = append(analyzers, s.analyzer)
+		}
+	}
+	if len(analyzers) == 0 {
+		return 0
+	}
+	diags, err := framework.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "texlint:", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, d := range diags {
+		if skipTests && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		fmt.Fprintln(os.Stderr, d)
+		n++
+	}
+	return n
+}
+
+// vetConfig is the package description go vet hands a -vettool, one JSON
+// file per package (the x/tools unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes one package under the go vet protocol.
+func runVet(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalVet(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalVet(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+	// texlint exports no facts, but vet expects the facts file to exist.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fatalVet(err)
+			}
+		}
+	}
+	// Skip facts-only invocations and test variants: test code legitimately
+	// reads clocks and mints root contexts, and the plain package variant is
+	// analyzed on its own.
+	if cfg.VetxOnly || strings.HasSuffix(cfg.ImportPath, ".test") ||
+		strings.HasSuffix(cfg.ImportPath, "_test") {
+		writeVetx()
+		return
+	}
+
+	exportFiles := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for path, file := range cfg.PackageFile {
+		exportFiles[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exportFiles[src] = file
+		}
+	}
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		// In-package test variants arrive with _test.go files merged in;
+		// analyze only the library sources.
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		writeVetx()
+		return
+	}
+	pkg, err := framework.LoadFromFiles(cfg.ImportPath, goFiles, exportFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		fatalVet(err)
+	}
+	n := reportPackage(pkg, true)
+	writeVetx()
+	if n > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalVet(err error) {
+	fmt.Fprintln(os.Stderr, "texlint:", err)
+	os.Exit(1)
+}

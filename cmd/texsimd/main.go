@@ -43,15 +43,22 @@ func main() {
 		parallelism  = flag.Int("job-par", 1, "concurrent simulations inside one job")
 		cacheEntries = flag.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result cache entries")
 		cacheDir     = flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
+		noCache      = flag.Bool("no-cache", false, "disable the result cache (every job re-simulates)")
 		outDir       = flag.String("out", "out", "output directory for image-producing experiment jobs")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 	)
 	flag.Parse()
 
-	cache, err := resultcache.New(resultcache.Config{MaxEntries: *cacheEntries, Dir: *cacheDir})
+	cache, err := resultcache.New(resultcache.Config{
+		MaxEntries: *cacheEntries,
+		Dir:        *cacheDir,
+		Disabled:   *noCache,
+	})
 	cliutil.Check("texsimd", err)
 
-	srv, err := service.New(service.Config{
+	// The service gets its own root context rather than the signal context:
+	// SIGTERM must stop intake and drain, not cancel running jobs.
+	srv, err := service.New(context.Background(), service.Config{
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		JobTimeout:  *jobTimeout,

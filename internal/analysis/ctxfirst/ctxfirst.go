@@ -1,0 +1,134 @@
+// Package ctxfirst locks in the context threading introduced with the
+// texsimd service: every cancellable operation takes a context.Context as
+// its first parameter, actually uses it, and library code never mints a
+// fresh root with context.Background()/context.TODO() — roots belong to
+// main functions and tests, so cancellation reaches every simulation.
+//
+// Three diagnostics:
+//
+//   - a function declares a context.Context parameter that is not first;
+//   - library code calls context.Background() or context.TODO()
+//     (deliberate compatibility shims carry a //texlint:ignore ctxfirst
+//     comment with the justification);
+//   - a named context parameter is never used in the function body — the
+//     context stops propagating there (name it _ to declare that on
+//     purpose).
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the context-discipline check.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context parameters must come first and be propagated; " +
+		"library code must not call context.Background()/context.TODO()",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n)
+				checkUnusedCtx(pass, n)
+			case *ast.CallExpr:
+				checkRootContext(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParams returns the declared parameter fields of context.Context type,
+// along with the positional index of the first parameter name they cover.
+func ctxParams(pass *framework.Pass, ft *ast.FuncType) (fields []*ast.Field, firstIndex []int) {
+	if ft.Params == nil {
+		return nil, nil
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := pass.TypeOf(field.Type); t != nil && isContextType(t) {
+			fields = append(fields, field)
+			firstIndex = append(firstIndex, idx)
+		}
+		idx += n
+	}
+	return fields, firstIndex
+}
+
+func checkSignature(pass *framework.Pass, fn *ast.FuncDecl) {
+	fields, firstIndex := ctxParams(pass, fn.Type)
+	for i, field := range fields {
+		if firstIndex[i] != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fn.Name.Name)
+		}
+	}
+}
+
+// checkUnusedCtx flags named context parameters the body never references:
+// the chain of cancellation breaks silently at such a function.
+func checkUnusedCtx(pass *framework.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || len(fn.Body.List) == 0 {
+		return
+	}
+	fields, _ := ctxParams(pass, fn.Type)
+	for _, field := range fields {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					used = true
+				}
+				return !used
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "context parameter %s is never used: the context stops propagating here (use it or name it _)", name.Name)
+			}
+		}
+	}
+}
+
+func checkRootContext(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if name := fn.Name(); name == "Background" || name == "TODO" {
+		pass.Reportf(call.Pos(), "context.%s in library code: accept a context.Context from the caller instead (roots belong to main and tests)", name)
+	}
+}

@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/framework"
+)
+
+func TestCtxFirst(t *testing.T) {
+	framework.RunTest(t, ".", ctxfirst.Analyzer, "ctx")
+}

@@ -1,0 +1,53 @@
+// Package ctxpkg exercises the ctxfirst analyzer: contexts must come
+// first, must be used, and library code must not mint roots.
+package ctxpkg
+
+import "context"
+
+func work(ctx context.Context, n int) error {
+	if n < 0 {
+		return nil
+	}
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func goodFirst(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func badOrder(n int, ctx context.Context) error { // want `context.Context must be the first parameter of badOrder`
+	return work(ctx, n)
+}
+
+func mintsRoot(n int) error {
+	return work(context.Background(), n) // want `context.Background in library code`
+}
+
+func mintsTODO(n int) error {
+	return work(context.TODO(), n) // want `context.TODO in library code`
+}
+
+func dropsCtx(ctx context.Context, n int) int { // want `context parameter ctx is never used`
+	return n * 2
+}
+
+func declaredUnused(_ context.Context, n int) int {
+	return n * 2
+}
+
+func suppressedRoot(n int) error {
+	return work(context.Background(), n) //texlint:ignore ctxfirst deliberate compatibility shim
+}
+
+type runner struct{}
+
+// methods get the same treatment; the receiver does not count as a
+// parameter.
+func (runner) Run(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func (runner) Bad(n int, ctx context.Context) error { // want `context.Context must be the first parameter of Bad`
+	return work(ctx, n)
+}

@@ -1,0 +1,217 @@
+// Package determinism checks the result-cache soundness contract: simulator
+// packages must be pure functions of their configuration. The service's
+// content-addressed result cache (internal/resultcache) keys on a SHA-256 of
+// the canonical config JSON and serves cached documents as if freshly
+// simulated — which is only sound when the same config always produces the
+// same bytes. Three classes of hidden inputs break that:
+//
+//   - wall-clock reads (time.Now, time.Since, timers),
+//   - ambient randomness (the global math/rand source, seeded per-process)
+//     and process environment (os.Getenv),
+//   - map iteration order feeding ordered output (Go randomizes it per run).
+//
+// The analyzer forbids the first two outright and flags range-over-map loops
+// that append to an outer slice never subsequently sorted, or that write
+// output directly from the loop body.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the determinism check.
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock, ambient randomness, environment reads and " +
+		"unordered map iteration feeding ordered output in simulator packages " +
+		"(the result-cache soundness contract)",
+	Run: run,
+}
+
+// forbiddenCalls maps package path -> function name -> explanation.
+var forbiddenCalls = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"Tick":      "creates a wall-clock ticker",
+		"After":     "creates a wall-clock timer",
+		"AfterFunc": "creates a wall-clock timer",
+		"NewTicker": "creates a wall-clock ticker",
+		"NewTimer":  "creates a wall-clock timer",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, if any.
+func calleeFunc(pass *framework.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are injected state: fine
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if why, ok := forbiddenCalls[pkg][name]; ok {
+		pass.Reportf(call.Pos(), "%s.%s %s; simulator results must be a pure function of the config (result-cache soundness)", pkg, name, why)
+		return
+	}
+	if (pkg == "math/rand" || pkg == "math/rand/v2") && !strings.HasPrefix(name, "New") {
+		pass.Reportf(call.Pos(), "%s.%s uses the global random source; inject a seeded *rand.Rand carried in the config instead (result-cache soundness)", pkg, name)
+	}
+}
+
+// checkMapRanges flags range-over-map loops whose iteration order can leak
+// into ordered output: either the body writes output directly, or it
+// appends to a slice declared outside the loop that is never sorted
+// afterwards in the same function.
+func checkMapRanges(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+// writerCalls are fmt functions and io-style method names that emit output.
+var writerNames = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func checkMapRangeBody(pass *framework.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	appended := map[types.Object]ast.Node{} // outer slice -> first append site
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil {
+				name := fn.Name()
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && writerNames[name] {
+					pass.Reportf(n.Pos(), "output written inside range over map: iteration order is nondeterministic (sort the keys first)")
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+					strings.HasPrefix(name, "Write") {
+					pass.Reportf(n.Pos(), "%s called inside range over map: iteration order is nondeterministic (sort the keys first)", name)
+				}
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x is declared outside the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				lhs, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(lhs)
+				if obj == nil || obj.Pos() == token.NoPos {
+					continue
+				}
+				if obj.Pos() < rng.Pos() { // declared before the loop
+					if _, seen := appended[obj]; !seen {
+						appended[obj] = n
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, site := range appended {
+		if !sortedAfter(pass, fnBody, rng, obj) {
+			pass.Reportf(site.Pos(),
+				"%s accumulates values in map iteration order and is never sorted; map range order is nondeterministic (result-cache soundness)",
+				obj.Name())
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices ordering
+// function after the range loop, in the same function body.
+func sortedAfter(pass *framework.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/framework"
+)
+
+func TestDeterminism(t *testing.T) {
+	framework.RunTest(t, ".", determinism.Analyzer, "det")
+}

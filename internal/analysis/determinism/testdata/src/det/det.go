@@ -1,0 +1,89 @@
+// Package det exercises the determinism analyzer: hidden inputs (clock,
+// global randomness, environment) and map-order leaks must be flagged;
+// injected randomness and sorted map iteration must not.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `time.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time.Since reads the wall clock`
+}
+
+func ticker() {
+	<-time.Tick(time.Second) // want `time.Tick creates a wall-clock ticker`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand.Intn uses the global random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle uses the global random source`
+}
+
+func injectedRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: seeded and injected
+	return rng.Intn(10)
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os.Getenv reads the process environment`
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates values in map iteration order`
+	}
+	return keys
+}
+
+func mapSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapLocalAccumulator(m map[string][]int) []int {
+	var all []int
+	for _, vs := range m {
+		sum := 0
+		for _, v := range vs {
+			sum += v
+		}
+		all = append(all, sum) // want `all accumulates values in map iteration order`
+	}
+	return all
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written inside range over map`
+	}
+}
+
+func mapCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // ok: order-insensitive
+	}
+	return n
+}
+
+func suppressed() int64 {
+	return time.Now().UnixNano() //texlint:ignore determinism testdata exercises suppression
+}

@@ -1,0 +1,33 @@
+// Package analysis hosts texlint, the repository's static-analysis suite.
+//
+// The simulator's results are only cacheable, comparable and reproducible
+// because the pipeline model is a pure function of its configuration; the
+// service layer is only dependable because its critical sections are short
+// and its observability follows conventions. Those are invariants of the
+// whole tree, not of any one package — so they are machine-checked here
+// rather than trusted to review:
+//
+//   - determinism: simulator packages must not read the clock, the global
+//     random source, or the environment, and must not let map iteration
+//     order reach ordered output (the result-cache soundness contract);
+//   - ctxfirst: context.Context parameters come first, propagate, and
+//     library code never mints roots with context.Background()/TODO();
+//   - locksafe: nothing blocking — channel ops, I/O, sleeps, callbacks —
+//     runs while a sync.Mutex is held in the service, and every Lock has a
+//     reachable Unlock;
+//   - metriclint: metric names are constant, follow Prometheus naming,
+//     register exactly once, and keep label sets small and bounded.
+//
+// The subpackage framework is a stdlib-only stand-in for
+// golang.org/x/tools/go/analysis (this repository takes no external
+// dependencies); cmd/texlint is the multichecker. Run it standalone with
+//
+//	go run ./cmd/texlint ./...
+//
+// or hook it into go vet with
+//
+//	go build -o texlint ./cmd/texlint && go vet -vettool=./texlint ./...
+//
+// False positives are silenced in place with a justified
+// `//texlint:ignore <analyzer> <reason>` comment on or above the line.
+package analysis

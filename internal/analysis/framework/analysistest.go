@@ -1,0 +1,198 @@
+package framework
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunTest is the analysistest analogue: it loads the package in
+// testdata/src/<pkg> under dir, runs the analyzer, and checks the
+// diagnostics against `// want "regexp"` comments. A want comment names
+// every diagnostic expected on its line (several quoted regexps for several
+// diagnostics); lines without a want comment must produce none.
+//
+// Testdata packages are type-checked from source (they sit under testdata/
+// where go list cannot see them), so they may import the standard library
+// but not this module.
+func RunTest(t *testing.T, dir string, a *Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runTestPkg(t, filepath.Join(dir, "testdata", "src", pkg), a)
+	}
+}
+
+// srcImporter type-checks stdlib imports from $GOROOT source; one shared
+// instance caches packages across testdata packages in a test binary.
+var (
+	testFset    = token.NewFileSet()
+	srcImporter = importer.ForCompiler(testFset, "source", nil)
+)
+
+func runTestPkg(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(testFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", a.Name, dir)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: srcImporter,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check("testdata/"+filepath.Base(dir), testFset, files, info)
+	if err != nil {
+		t.Fatalf("%s: type-checking %s: %v", a.Name, dir, err)
+	}
+	pkg := &Package{
+		ImportPath: tpkg.Path(),
+		Dir:        dir,
+		Fset:       testFset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	checkWants(t, a.Name, testFset, files, diags)
+}
+
+// wantKey addresses one source line.
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the expected-diagnostic regexps per line.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := wantKey{pos.Filename, pos.Line}
+				for _, lit := range splitQuoted(m[1]) {
+					s, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted splits `"a" "b"` (double-quoted or backquoted Go string
+// literals separated by spaces) into raw literal tokens.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var end int
+		switch s[0] {
+		case '"':
+			end = 1
+			for end < len(s) && s[end] != '"' {
+				if s[end] == '\\' {
+					end++
+				}
+				end++
+			}
+		case '`':
+			end = 1
+			for end < len(s) && s[end] != '`' {
+				end++
+			}
+		default:
+			return out // trailing prose after the patterns
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// checkWants matches diagnostics against expectations both ways.
+func checkWants(t *testing.T, name string, fset *token.FileSet, files []*ast.File, diags []Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	unmatched := make(map[wantKey][]*regexp.Regexp, len(wants))
+	for k, v := range wants {
+		unmatched[k] = append([]*regexp.Regexp(nil), v...)
+	}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		res := unmatched[key]
+		hit := -1
+		for i, re := range res {
+			if re.MatchString(d.Message) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", name, d.Pos.Filename, d.Pos.Line, d.Message)
+			continue
+		}
+		unmatched[key] = append(res[:hit], res[hit+1:]...)
+	}
+	var keys []wantKey
+	for k, res := range unmatched {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range unmatched[k] {
+			t.Errorf("%s: missing diagnostic matching %q at %s:%d", name, re, k.file, k.line)
+		}
+	}
+}

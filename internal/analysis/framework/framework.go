@@ -1,0 +1,186 @@
+// Package framework is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough driver machinery to run
+// AST+types analyzers over this module's packages. It exists because the
+// repository is stdlib-only by policy — the real analysis framework would be
+// the first external dependency — and because the four texlint analyzers
+// (determinism, ctxfirst, locksafe, metriclint) need nothing beyond parsed
+// files, type information and a diagnostic sink.
+//
+// The moving parts mirror x/tools deliberately so the analyzers could be
+// ported to the real framework later with mechanical edits: an Analyzer has
+// a Name, Doc and Run func; Run receives a *Pass carrying the package's
+// files, *types.Package and *types.Info and reports through Pass.Reportf.
+//
+// Suppression: a diagnostic is dropped when the line it lands on, or the
+// line above it, carries a comment of the form
+//
+//	//texlint:ignore name1,name2 reason...
+//	//texlint:ignore all reason...
+//
+// naming the analyzer. The reason is mandatory in spirit (reviewers should
+// see why) but not enforced.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore comments.
+	Name string
+	// Doc is a one-paragraph description, shown by texlint -help.
+	Doc string
+	// Run executes the check and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when the type checker recorded none.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (definition or use).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// Diagnostic is one finding, positioned in the file set it came from.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ignoreRe matches texlint suppression comments. The directive must open
+// the comment: `//texlint:ignore determinism reason...`.
+var ignoreRe = regexp.MustCompile(`^//\s*texlint:ignore\s+([a-zA-Z0-9_,]+)`)
+
+// ignoreIndex records, per file and line, which analyzers are suppressed.
+type ignoreIndex map[string]map[int]map[string]bool
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := make(ignoreIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					idx[pos.Filename] = byLine
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(m[1], ",") {
+					names[strings.TrimSpace(n)] = true
+				}
+				// The comment covers its own line and the next, so both
+				// trailing (`stmt //texlint:ignore x`) and standalone
+				// (`//texlint:ignore x` above the stmt) placements work.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = make(map[string]bool)
+					}
+					for n := range names {
+						byLine[line][n] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx ignoreIndex) suppressed(d Diagnostic) bool {
+	byLine := idx[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[d.Pos.Line]
+	return names != nil && (names[d.Analyzer] || names["all"])
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report: func(d Diagnostic) {
+				if !idx.suppressed(d) {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// NewInfo returns a fully-populated types.Info ready for Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,78 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// TestLoadTypeChecks loads a real module package through the go list +
+// export-data path and verifies types resolve.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := framework.Load(".", "repro/internal/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "repro/internal/metrics" {
+		t.Fatalf("ImportPath = %q", pkg.ImportPath)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("Registry") == nil {
+		t.Fatal("type information missing: Registry not found in package scope")
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded; loader must skip test files", name)
+		}
+	}
+}
+
+// TestSuppression verifies //texlint:ignore comments drop diagnostics on
+// their own line and the next.
+func TestSuppression(t *testing.T) {
+	pkgs, err := framework.Load(".", "repro/internal/analysis/framework")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	reportAll := &framework.Analyzer{
+		Name: "everyline",
+		Doc:  "reports every function declaration (test helper)",
+		Run: func(pass *framework.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{reportAll})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("helper analyzer reported nothing")
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1].Pos, diags[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Fatalf("diagnostics not sorted: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package locksafe enforces the service's lock discipline: internal/service
+// serializes job state under sync.Mutex, and the latency of every request
+// rides on those critical sections staying short and non-blocking. The
+// analyzer flags, for code executed while a sync.Mutex/RWMutex is held:
+//
+//   - blocking channel operations (sends, receives, and selects without a
+//     default clause) — a send under the job lock deadlocks the pool the
+//     moment the queue fills; non-blocking selects with a default are fine;
+//   - file and network I/O (os file calls, net, net/http) and time.Sleep;
+//   - sync.WaitGroup.Wait — waiting for workers that may need the lock;
+//   - calls to function-typed parameters (user callbacks run with the lock
+//     held can re-enter and deadlock).
+//
+// It also reports a Lock/RLock with no corresponding Unlock/RUnlock —
+// direct or deferred — anywhere in the same function.
+//
+// The tracking is a source-order approximation, not a CFG: a guard clause
+// that unlocks and returns (`if bad { mu.Unlock(); return }`) is recognized
+// and does not end the critical section on the fallthrough path.
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the lock-discipline check.
+var Analyzer = &framework.Analyzer{
+	Name: "locksafe",
+	Doc: "no blocking channel ops, I/O, sleeps or user callbacks while a " +
+		"sync mutex is held; every Lock needs a reachable Unlock",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &walker{
+				pass:       pass,
+				params:     paramObjs(pass, fn),
+				unlockSeen: make(map[string]bool),
+			}
+			held := w.stmts(fn.Body.List, map[string]token.Pos{})
+			_ = held
+			for _, ev := range w.lockEvents {
+				if !w.unlockSeen[ev.key] {
+					pass.Reportf(ev.pos, "%s.Lock with no corresponding Unlock in this function", ev.key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// paramObjs collects the function's parameter objects, for the
+// callback-under-lock check.
+func paramObjs(pass *framework.Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+type lockEvent struct {
+	key string
+	pos token.Pos
+}
+
+type walker struct {
+	pass       *framework.Pass
+	params     map[types.Object]bool
+	lockEvents []lockEvent
+	unlockSeen map[string]bool
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex lock or unlock on a
+// receiver expression, returning its rendered key.
+func (w *walker) mutexOp(call *ast.CallExpr) (key string, lock, unlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn, ok := w.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false, false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, true, false
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// stmts walks a statement list in source order, threading the held-lock set.
+func (w *walker) stmts(list []ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// terminates reports whether the statement list ends control flow
+// (return, panic, or an unconditional branch).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]token.Pos) map[string]token.Pos {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, lock, unlock := w.mutexOp(call); lock || unlock {
+				if lock {
+					w.lockEvents = append(w.lockEvents, lockEvent{key, call.Pos()})
+					held[key] = call.Pos()
+				} else {
+					w.unlockSeen[key] = true
+					delete(held, key)
+				}
+				return held
+			}
+		}
+		w.scan(s, held)
+	case *ast.DeferStmt:
+		if key, _, unlock := w.mutexOp(s.Call); unlock {
+			// The lock stays held to the end of the function, but the
+			// unlock is guaranteed.
+			w.unlockSeen[key] = true
+			return held
+		}
+		// The deferred call itself runs after the critical section; only
+		// its argument expressions evaluate now, and those are benign.
+	case *ast.BlockStmt:
+		held = w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		bodyHeld := w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+		// Guard clauses that end control flow don't affect the
+		// fallthrough path; a non-terminating body's lock changes are
+		// adopted only when there is no else (best-effort without a CFG).
+		if !terminates(s.Body.List) && s.Else == nil {
+			held = bodyHeld
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(s, held)
+	case *ast.LabeledStmt:
+		held = w.stmt(s.Stmt, held)
+	default:
+		w.scan(s, held)
+	}
+	return held
+}
+
+// selectStmt handles the one sanctioned channel pattern under a lock: a
+// select with a default clause is non-blocking and allowed.
+func (w *walker) selectStmt(s *ast.SelectStmt, held map[string]token.Pos) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if len(held) > 0 && !hasDefault {
+		pass := w.pass
+		pass.Reportf(s.Pos(), "select without default blocks on channel operations while %s is held", anyKey(held))
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		w.stmts(cc.Body, copyHeld(held))
+	}
+}
+
+func anyKey(held map[string]token.Pos) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// scan inspects a whole statement for violations when a lock is held.
+func (w *walker) scan(s ast.Stmt, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	w.scanNode(s, held)
+}
+
+func (w *walker) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 || e == nil {
+		return
+	}
+	w.scanNode(e, held)
+}
+
+// osIOFuncs are os package calls that hit the filesystem.
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "Chmod": true, "Chown": true,
+	"Symlink": true, "Link": true, "Truncate": true,
+}
+
+func (w *walker) scanNode(root ast.Node, held map[string]token.Pos) {
+	key := anyKey(held)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // closure bodies run later, outside the section
+		case *ast.SendStmt:
+			w.pass.Reportf(n.Pos(), "channel send while %s is held can block the critical section", key)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.pass.Reportf(n.Pos(), "channel receive while %s is held can block the critical section", key)
+			}
+		case *ast.CallExpr:
+			w.scanCall(n, key)
+		}
+		return true
+	})
+}
+
+func (w *walker) scanCall(call *ast.CallExpr, key string) {
+	// Calls through function-typed parameters: user callbacks must not run
+	// under the lock.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		obj := w.pass.ObjectOf(id)
+		if obj != nil && w.params[obj] {
+			if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+				w.pass.Reportf(call.Pos(), "callback %s invoked while %s is held can re-enter and deadlock", id.Name, key)
+				return
+			}
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := w.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch pkg := fn.Pkg().Path(); {
+	case pkg == "net" || pkg == "net/http":
+		w.pass.Reportf(call.Pos(), "%s.%s while %s is held performs network I/O in the critical section", pkg, fn.Name(), key)
+	case pkg == "os" && sig != nil && sig.Recv() == nil && osIOFuncs[fn.Name()]:
+		w.pass.Reportf(call.Pos(), "os.%s while %s is held performs file I/O in the critical section", fn.Name(), key)
+	case pkg == "time" && fn.Name() == "Sleep":
+		w.pass.Reportf(call.Pos(), "time.Sleep while %s is held stalls every waiter", key)
+	case pkg == "sync" && fn.Name() == "Wait" && recvNamed(sig) == "WaitGroup":
+		// sync.Cond.Wait is excluded: it is designed to run under the lock.
+		w.pass.Reportf(call.Pos(), "WaitGroup.Wait while %s is held can deadlock against workers that need the lock", key)
+	}
+}
+
+// recvNamed returns the name of a method's receiver type, or "".
+func recvNamed(sig *types.Signature) string {
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	framework.RunTest(t, ".", locksafe.Analyzer, "locks")
+}

@@ -1,0 +1,126 @@
+// Package locks exercises the locksafe analyzer: blocking operations, I/O
+// and callbacks under a held sync.Mutex must be flagged; the sanctioned
+// patterns (non-blocking select, guard-clause unlock, deferred unlock) must
+// not.
+package locks
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu   sync.Mutex
+	ch   chan int
+	data map[string]int
+}
+
+func (s *S) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) nonBlockingSend(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // ok: select with default never blocks
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *S) blockingSelect(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select without default blocks on channel operations while s.mu is held`
+	case s.ch <- v:
+	}
+}
+
+func (s *S) recvUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `channel receive while s.mu is held`
+}
+
+func (s *S) ioUnderLock(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.ReadFile(path) // want `os.ReadFile while s.mu is held performs file I/O`
+}
+
+func (s *S) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) callbackUnderLock(f func()) {
+	s.mu.Lock()
+	f() // want `callback f invoked while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) callbackAfterUnlock(f func()) {
+	s.mu.Lock()
+	v := s.data["x"]
+	s.mu.Unlock()
+	_ = v
+	f() // ok: the critical section ended
+}
+
+func (s *S) noUnlock() {
+	s.mu.Lock() // want `s.mu.Lock with no corresponding Unlock in this function`
+	s.data["x"] = 1
+}
+
+func (s *S) guardClause(ok bool) int {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return 0
+	}
+	v := s.data["x"] // still inside the critical section, but benign
+	s.mu.Unlock()
+	return v
+}
+
+func (s *S) guardThenSend(ok bool, v int) {
+	s.mu.Lock()
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.ch <- v // want `channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `WaitGroup.Wait while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) deferredIsSafe() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data["x"]
+}
+
+func (s *S) closureEscapes() {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 1 // ok: runs outside the critical section
+	}()
+	s.mu.Unlock()
+}
+
+func (s *S) suppressedSend(v int) {
+	s.mu.Lock()
+	s.ch <- v //texlint:ignore locksafe testdata exercises suppression
+	s.mu.Unlock()
+}

@@ -1,0 +1,156 @@
+// Package metriclint checks metric registrations against Prometheus
+// conventions, statically. It matches calls to the registration methods of
+// any type named Registry — Counter, Gauge, Histogram, CounterVec,
+// HistogramVec, the shape of internal/metrics — and enforces:
+//
+//   - the metric name is a compile-time string constant (names assembled at
+//     runtime defeat grepping a scrape for its source and can explode
+//     cardinality);
+//   - names match ^[a-z][a-z0-9_]*$ (the strict house subset of the
+//     Prometheus data model);
+//   - each name is registered at exactly one call site per package — two
+//     sites sharing a name silently share a family or panic on a kind
+//     mismatch at runtime;
+//   - label names are constants matching ^[a-z_][a-z0-9_]*$, are not
+//     duplicated, and number at most three per metric: every label
+//     multiplies series cardinality, so label sets must stay small and
+//     bounded.
+package metriclint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the metric-conventions check.
+var Analyzer = &framework.Analyzer{
+	Name: "metriclint",
+	Doc: "metric names are constant, match ^[a-z][a-z0-9_]*$ and register " +
+		"once; label sets are constant, valid and bounded",
+	Run: run,
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	labelRe = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+)
+
+// maxLabels bounds label dimensions per metric; every label multiplies
+// series cardinality.
+const maxLabels = 3
+
+// registrars maps method name -> index of the first label-name argument
+// (-1 when the method takes no labels).
+var registrars = map[string]int{
+	"Counter":      -1,
+	"Gauge":        -1,
+	"Histogram":    -1,
+	"CounterVec":   2,
+	"HistogramVec": 3,
+}
+
+func run(pass *framework.Pass) error {
+	seen := make(map[string]token.Position) // metric name -> first site
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkRegistration(pass, call, seen)
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryCall reports whether the call is a registration method on a
+// value of a type named Registry.
+func isRegistryCall(pass *framework.Pass, call *ast.CallExpr) (labelStart int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return 0, false
+	}
+	labelStart, isReg := registrars[sel.Sel.Name]
+	if !isReg {
+		return 0, false
+	}
+	fn, isFn := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn {
+		return 0, false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return 0, false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" {
+		return 0, false
+	}
+	return labelStart, true
+}
+
+// constString extracts the compile-time string value of an expression.
+func constString(pass *framework.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func checkRegistration(pass *framework.Pass, call *ast.CallExpr, seen map[string]token.Position) {
+	labelStart, ok := isRegistryCall(pass, call)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	name, isConst := constString(pass, call.Args[0])
+	if !isConst {
+		pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time string constant")
+		return
+	}
+	if !nameRe.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q does not match ^[a-z][a-z0-9_]*$", name)
+	}
+	if first, dup := seen[name]; dup {
+		pass.Reportf(call.Args[0].Pos(), "metric %q already registered at %s; each name must have exactly one registration site", name, posString(first))
+	} else {
+		seen[name] = pass.Fset.Position(call.Args[0].Pos())
+	}
+	if labelStart < 0 || len(call.Args) <= labelStart {
+		return
+	}
+	labels := call.Args[labelStart:]
+	if len(labels) > maxLabels {
+		pass.Reportf(labels[maxLabels].Pos(), "metric %q declares %d label dimensions (max %d); label sets must stay small and bounded", name, len(labels), maxLabels)
+	}
+	labelSeen := make(map[string]bool)
+	for _, arg := range labels {
+		lv, lok := constString(pass, arg)
+		if !lok {
+			pass.Reportf(arg.Pos(), "label name of metric %q must be a compile-time string constant", name)
+			continue
+		}
+		if !labelRe.MatchString(lv) {
+			pass.Reportf(arg.Pos(), "label name %q of metric %q does not match ^[a-z_][a-z0-9_]*$", lv, name)
+		}
+		if labelSeen[lv] {
+			pass.Reportf(arg.Pos(), "duplicate label %q on metric %q", lv, name)
+		}
+		labelSeen[lv] = true
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,12 @@
+package metriclint_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/metriclint"
+)
+
+func TestMetricLint(t *testing.T) {
+	framework.RunTest(t, ".", metriclint.Analyzer, "metrics")
+}

@@ -1,0 +1,43 @@
+// Package metricspkg exercises the metriclint analyzer against a local
+// stub with the shape of internal/metrics.Registry — the analyzer matches
+// registration methods on any type named Registry, so testdata needs no
+// module imports.
+package metricspkg
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+type CounterVec struct{}
+type HistogramVec struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge     { return &Gauge{} }
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return &Histogram{}
+}
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{}
+}
+
+const constName = "const_named_total"
+
+func register(r *Registry, dynamic string) {
+	r.Counter("jobs_total", "fine")
+	r.Counter(constName, "fine: constant expression")
+	r.Counter("Jobs-Total", "bad name")         // want `metric name "Jobs-Total" does not match`
+	r.Counter("9starts_with_digit", "bad name") // want `metric name "9starts_with_digit" does not match`
+	r.Counter(dynamic, "not a constant")        // want `metric name must be a compile-time string constant`
+	r.Gauge("jobs_total", "duplicate site")     // want `metric "jobs_total" already registered`
+	r.Histogram("latency_seconds", "fine", nil)
+	r.CounterVec("requests_total", "fine", "status")
+	r.CounterVec("bad_label_total", "bad label", "Status")     // want `label name "Status" of metric "bad_label_total" does not match`
+	r.CounterVec("dup_label_total", "dup label", "a", "a")     // want `duplicate label "a" on metric "dup_label_total"`
+	r.CounterVec("wide_total", "too many", "a", "b", "c", "d") // want `metric "wide_total" declares 4 label dimensions`
+	r.CounterVec("dyn_label_total", "dynamic label", dynamic)  // want `label name of metric "dyn_label_total" must be a compile-time string constant`
+	r.HistogramVec("duration_seconds", "fine", nil, "scene")
+}

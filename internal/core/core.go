@@ -312,7 +312,7 @@ func NewMachine(scene *trace.Scene, cfg Config) (*Machine, error) {
 // Run simulates the whole scene and returns the result. Run is
 // deterministic; calling it again re-runs from a cold machine.
 func (m *Machine) Run() *Result {
-	res, err := m.RunContext(context.Background())
+	res, err := m.RunContext(context.Background()) //texlint:ignore ctxfirst Run is the documented uncancellable shim over RunContext
 	if err != nil {
 		// The machine's own scene always passes the sequence checks, and a
 		// background context is never cancelled.
@@ -338,7 +338,7 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 // until the slowest finishes before the next frame's triangles flow.
 // Returned results hold per-frame counters and cycles.
 func (m *Machine) RunSequence(frames []*trace.Scene) ([]*Result, error) {
-	return m.RunSequenceContext(context.Background(), frames)
+	return m.RunSequenceContext(context.Background(), frames) //texlint:ignore ctxfirst RunSequence is the documented uncancellable shim over RunSequenceContext
 }
 
 // RunSequenceContext is RunSequence with cancellation; see RunContext.
@@ -466,7 +466,7 @@ func (m *Machine) snapshot(i int) NodeResult {
 
 // Simulate is the one-call convenience: build a machine and run the scene.
 func Simulate(scene *trace.Scene, cfg Config) (*Result, error) {
-	return SimulateContext(context.Background(), scene, cfg)
+	return SimulateContext(context.Background(), scene, cfg) //texlint:ignore ctxfirst Simulate is the documented uncancellable shim over SimulateContext
 }
 
 // SimulateContext is Simulate with cancellation: long simulations return
@@ -483,7 +483,7 @@ func SimulateContext(ctx context.Context, scene *trace.Scene, cfg Config) (*Resu
 // with both results. The single-processor baseline keeps every other
 // parameter of cfg (cache, bus, buffer) identical, as the paper does.
 func Speedup(scene *trace.Scene, cfg Config) (speedup float64, single, parallel *Result, err error) {
-	return SpeedupContext(context.Background(), scene, cfg)
+	return SpeedupContext(context.Background(), scene, cfg) //texlint:ignore ctxfirst Speedup is the documented uncancellable shim over SpeedupContext
 }
 
 // SpeedupContext is Speedup with cancellation.

@@ -44,6 +44,11 @@ type Config struct {
 	// Dir, when non-empty, enables the write-through on-disk tier; one file
 	// per entry, named by key. The directory is created if missing.
 	Dir string
+	// Disabled turns the cache into a no-op: every Get misses and Put
+	// discards. Used to force re-simulation — the texsimd -no-cache flag
+	// and the cache-soundness tests, which compare cached against freshly
+	// simulated documents.
+	Disabled bool
 }
 
 // DefaultMaxEntries is the in-memory entry bound when Config.MaxEntries is 0.
@@ -64,12 +69,13 @@ type entry struct {
 // Cache is the two-tier result cache. All methods are safe for concurrent
 // use.
 type Cache struct {
-	mu    sync.Mutex
-	max   int
-	dir   string
-	lru   *list.List // front = most recent; values are *entry
-	byKey map[string]*list.Element
-	stats Stats
+	mu       sync.Mutex
+	max      int
+	dir      string
+	disabled bool
+	lru      *list.List // front = most recent; values are *entry
+	byKey    map[string]*list.Element
+	stats    Stats
 }
 
 // New builds a cache; with a Dir it creates the directory eagerly so
@@ -77,6 +83,9 @@ type Cache struct {
 func New(cfg Config) (*Cache, error) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.Disabled {
+		return &Cache{disabled: true}, nil
 	}
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
@@ -94,6 +103,12 @@ func New(cfg Config) (*Cache, error) {
 // Get returns the cached bytes for key. A memory miss falls back to the disk
 // tier and promotes the entry on success.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	if c.disabled {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -123,6 +138,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // Put stores val under key in memory and, when configured, on disk. The
 // slice is retained; callers must not mutate it afterwards.
 func (c *Cache) Put(key string, val []byte) error {
+	if c.disabled {
+		return nil
+	}
 	c.mu.Lock()
 	c.insertLocked(key, val)
 	c.mu.Unlock()
@@ -172,6 +190,9 @@ func (c *Cache) insertLocked(key string, val []byte) {
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.disabled {
+		return 0
+	}
 	return c.lru.Len()
 }
 

@@ -123,6 +123,26 @@ func TestDiskTierSurvivesRestart(t *testing.T) {
 	}
 }
 
+func TestDisabledCacheNeverHits(t *testing.T) {
+	c, err := New(Config{MaxEntries: 8, Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 0 hits 1 miss", st)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	c, err := New(Config{MaxEntries: 16})
 	if err != nil {

@@ -2,6 +2,7 @@ package scene
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/trace"
@@ -60,6 +61,22 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	if len(c.Triangles) == len(a.Triangles) && c.Triangles[0] == a.Triangles[0] {
 		t.Error("different seeds produced identical scenes")
+	}
+
+	// Generate is exactly GenerateWithRand over a stream seeded with
+	// Params.Seed — the injected-rand path and the config path must agree.
+	p.Seed = 42
+	d, err := GenerateWithRand(p, rand.New(rand.NewSource(p.Seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Triangles) != len(a.Triangles) {
+		t.Fatalf("GenerateWithRand produced %d triangles, Generate %d", len(d.Triangles), len(a.Triangles))
+	}
+	for i := range d.Triangles {
+		if d.Triangles[i] != a.Triangles[i] {
+			t.Fatalf("triangle %d differs between Generate and GenerateWithRand", i)
+		}
 	}
 }
 

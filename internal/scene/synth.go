@@ -158,14 +158,27 @@ func (c *texCursor) allocFresh(tw, th float64) (u0, v0 float64, ok bool) {
 	return u0, v0, true
 }
 
-// Generate synthesizes the scene. The same Params always produce the same
-// scene.
+// Generate synthesizes the scene. The generator's only sources of
+// variation are the Params fields — randomness comes exclusively from a
+// *rand.Rand seeded with the config-recorded Seed, never from the global
+// math/rand source (texlint's determinism analyzer enforces this) — so the
+// same Params always produce the same scene. That purity is what makes
+// scenes cache-keyable: the service's result cache keys on the config JSON,
+// Seed included, and replays cached documents as if freshly simulated.
 func Generate(p Params) (*trace.Scene, error) {
+	return GenerateWithRand(p, rand.New(rand.NewSource(p.Seed)))
+}
+
+// GenerateWithRand is Generate with the random stream injected, for callers
+// composing scenes from a shared deterministic stream (multi-frame
+// synthesis, parameter searches). The caller owns reproducibility: results
+// depend on the stream's state, so anything cache-keyed must go through
+// Generate, where the stream is pinned to Params.Seed.
+func GenerateWithRand(p Params, rng *rand.Rand) (*trace.Scene, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
 
 	sw := scaleInt(p.Width, p.Scale)
 	sh := scaleInt(p.Height, p.Scale)

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/resultcache"
+	"repro/internal/sweep"
+)
+
+// soundnessSweep is the fixed config the cache-soundness contract is checked
+// against: small enough to simulate three times in a test, big enough to
+// exercise multiple processor counts.
+func soundnessSweep() *Request {
+	return &Request{Type: "sweep", Sweep: &sweep.Spec{
+		Scene: "quake", Scale: 0.1, Procs: []int{1, 2}, Sizes: []int{8},
+		Cache: "perfect",
+	}}
+}
+
+// rawResult fetches the result document bytes exactly as served, with no
+// JSON round-trip that could mask encoding differences.
+func rawResult(t *testing.T, ts *httptest.Server, resultURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + resultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result returned %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestCacheSoundness is the regression test for the result-cache contract
+// that the determinism analyzer (internal/analysis/determinism) exists to
+// protect: a simulation result is a pure function of its config, so a cached
+// document must be bit-identical to what a fresh simulation of the same
+// config would produce. It runs the same sweep three times — cold, cache-hit,
+// and with the cache disabled — and compares the raw documents.
+func TestCacheSoundness(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Cold run: simulated, then stored in the cache.
+	cold, code := postJob(t, ts, soundnessSweep())
+	if code != http.StatusAccepted {
+		t.Fatalf("cold submit returned %d", code)
+	}
+	coldView := waitDone(t, ts, cold.ID)
+	if coldView.Status != StatusDone {
+		t.Fatalf("cold run finished %s (%s)", coldView.Status, coldView.Error)
+	}
+	if coldView.FromCache {
+		t.Fatal("cold run claims a cache hit")
+	}
+	coldDoc := rawResult(t, ts, coldView.ResultURL)
+
+	// Identical resubmission: must be served from the cache, byte-for-byte.
+	hit, _ := postJob(t, ts, soundnessSweep())
+	hitView := waitDone(t, ts, hit.ID)
+	if hitView.Status != StatusDone {
+		t.Fatalf("cached run finished %s (%s)", hitView.Status, hitView.Error)
+	}
+	if !hitView.FromCache {
+		t.Fatal("identical resubmission was not served from the cache")
+	}
+	hitDoc := rawResult(t, ts, hitView.ResultURL)
+	if !bytes.Equal(coldDoc, hitDoc) {
+		t.Errorf("cached document differs from the cold run:\ncold: %s\nhit:  %s",
+			coldDoc, hitDoc)
+	}
+
+	// Third run on a server with the cache disabled: a genuinely fresh
+	// simulation of the same config must reproduce the cold document exactly.
+	// If it doesn't, the simulator is nondeterministic and every cache hit
+	// above was returning stale-by-construction data.
+	disabled, err := resultcache.New(resultcache.Config{Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tsFresh := newTestServer(t, Config{Cache: disabled})
+	fresh, _ := postJob(t, tsFresh, soundnessSweep())
+	freshView := waitDone(t, tsFresh, fresh.ID)
+	if freshView.Status != StatusDone {
+		t.Fatalf("fresh run finished %s (%s)", freshView.Status, freshView.Error)
+	}
+	if freshView.FromCache {
+		t.Fatal("run with a disabled cache claims a cache hit")
+	}
+	freshDoc := rawResult(t, tsFresh, freshView.ResultURL)
+	if !bytes.Equal(coldDoc, freshDoc) {
+		t.Errorf("re-simulating the same config produced a different document — "+
+			"the simulator is not a pure function of its config:\ncold:  %s\nfresh: %s",
+			coldDoc, freshDoc)
+	}
+
+	// And the disabled cache really did stay out of the way.
+	resub, _ := postJob(t, tsFresh, soundnessSweep())
+	resubView := waitDone(t, tsFresh, resub.ID)
+	if resubView.FromCache {
+		t.Fatal("disabled cache served a hit on resubmission")
+	}
+}

@@ -171,8 +171,12 @@ type Server struct {
 	mDuration  *metrics.HistogramVec // by scene
 }
 
-// New builds the server and starts its worker pool.
-func New(cfg Config) (*Server, error) {
+// New builds the server and starts its worker pool. ctx is the root of
+// every job's context: cancelling it aborts all queued and running work
+// immediately (Close does the same). Pass context.Background() for a server
+// that should drain gracefully on shutdown instead — as cmd/texsimd does —
+// so that SIGTERM stops intake without killing in-flight jobs.
+func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -195,13 +199,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	baseCtx, baseCancel := context.WithCancel(ctx)
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Metrics,
 		cache:      cfg.Cache,
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 	}

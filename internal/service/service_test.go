@@ -30,7 +30,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Workers == 0 {
 		cfg.Workers = 2
 	}
-	srv, err := New(cfg)
+	srv, err := New(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
