@@ -117,6 +117,43 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	b.ReportMetric(float64(frags)/b.Elapsed().Seconds(), "frags/s")
 }
 
+// benchEngineFlight runs the BenchmarkMachineThroughput configuration with
+// the flight recorder optionally attached. BenchmarkEngineFlightOff is the
+// guard for the recorder's zero-cost-when-disabled contract: compare it
+// against BenchmarkMachineThroughput (the seed engine benchmark) — the
+// disabled hook is one nil check per triangle and must not move the number.
+func benchEngineFlight(b *testing.B, flight bool) {
+	bm, err := scene.ByName("truc640", 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := bm.MustBuild()
+	m, err := core.NewMachine(s, core.Config{
+		Procs: 16, Distribution: distrib.BlockKind, TileSize: 16,
+		CacheKind: core.CacheReal, Bus: memory.BusConfig{TexelsPerCycle: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if flight {
+		m.EnableFlightRecorder(0)
+	}
+	b.ResetTimer()
+	var frags uint64
+	for i := 0; i < b.N; i++ {
+		res := m.Run()
+		frags += res.Fragments
+	}
+	b.ReportMetric(float64(frags)/b.Elapsed().Seconds(), "frags/s")
+}
+
+// BenchmarkEngineFlightOff is BenchmarkMachineThroughput with the recorder
+// constructed but never attached — the shipping default.
+func BenchmarkEngineFlightOff(b *testing.B) { benchEngineFlight(b, false) }
+
+// BenchmarkEngineFlightOn measures the recording overhead when enabled.
+func BenchmarkEngineFlightOn(b *testing.B) { benchEngineFlight(b, true) }
+
 // BenchmarkSceneSynthesis measures procedural scene generation alone.
 func BenchmarkSceneSynthesis(b *testing.B) {
 	bm, err := scene.ByName("room3", 0.5)

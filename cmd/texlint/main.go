@@ -53,6 +53,9 @@ var determinismScope = map[string]bool{
 	"repro/internal/sweep":   true,
 	"repro/internal/texture": true,
 	"repro/internal/trace":   true,
+	// The flight recorder sits inside the simulation loop and its output is
+	// embedded in cache-keyed result documents: pure cycle arithmetic only.
+	"repro/internal/telemetry/flight": true,
 }
 
 func suite() []scoped {

@@ -1,17 +1,27 @@
 // Command texsimd serves the simulator over HTTP: clients submit sweep or
 // experiment jobs, poll their status, and fetch results; identical
 // submissions are answered from a content-addressed result cache without
-// re-simulating. Metrics are exposed at /metrics in Prometheus text format.
+// re-simulating. Metrics are exposed at /metrics in Prometheus text format,
+// recent request/job spans at /debug/traces, and logs are structured JSON
+// on stderr (request IDs and trace IDs on every job line).
 //
 // Usage:
 //
-//	texsimd -addr :8080 -workers 4 -queue 64 -cache-dir /var/cache/texsimd
+//	texsimd -addr :8080 -workers 4 -queue 64 -cache-dir /var/cache/texsimd \
+//	        -log-level info -debug-addr localhost:6060
 //
-// Submit a sweep and read it back:
+// Submit a sweep and read it back (the traceparent header is optional —
+// requests without one root a fresh trace):
 //
-//	curl -s -X POST localhost:8080/api/v1/jobs -d '{"type":"sweep","sweep":{"scene":"truc640"}}'
+//	curl -s -X POST localhost:8080/api/v1/jobs \
+//	     -H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' \
+//	     -d '{"type":"sweep","sweep":{"scene":"truc640"}}'
 //	curl -s localhost:8080/api/v1/jobs/job-000001
 //	curl -s localhost:8080/api/v1/jobs/job-000001/result
+//	curl -s localhost:8080/debug/traces
+//
+// -debug-addr starts a second listener (keep it private) with net/http/pprof
+// profiling endpoints under /debug/pprof/ and the same /debug/traces view.
 //
 // SIGINT/SIGTERM stop accepting new jobs and drain queued and running ones
 // (bounded by -drain-timeout) before exiting.
@@ -22,8 +32,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +42,8 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/resultcache"
 	"repro/internal/service"
+	"repro/internal/telemetry/logging"
+	"repro/internal/telemetry/tracing"
 )
 
 func main() {
@@ -46,8 +58,16 @@ func main() {
 		noCache      = flag.Bool("no-cache", false, "disable the result cache (every job re-simulates)")
 		outDir       = flag.String("out", "out", "output directory for image-producing experiment jobs")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat    = flag.String("log-format", "json", "log format: json or text")
+		debugAddr    = flag.String("debug-addr", "", "private listen address for pprof and trace debugging (empty = disabled)")
+		spanCap      = flag.Int("trace-spans", 0, "finished spans retained for /debug/traces (0 = default)")
 	)
 	flag.Parse()
+
+	level, err := logging.ParseLevel(*logLevel)
+	cliutil.Check("texsimd", err)
+	logger := logging.New(os.Stderr, level, *logFormat)
 
 	cache, err := resultcache.New(resultcache.Config{
 		MaxEntries: *cacheEntries,
@@ -55,6 +75,8 @@ func main() {
 		Disabled:   *noCache,
 	})
 	cliutil.Check("texsimd", err)
+
+	tracer := tracing.NewTracer(*spanCap)
 
 	// The service gets its own root context rather than the signal context:
 	// SIGTERM must stop intake and drain, not cancel running jobs.
@@ -65,7 +87,8 @@ func main() {
 		Parallelism: *parallelism,
 		Cache:       cache,
 		OutDir:      *outDir,
-		Logf:        log.Printf,
+		Logger:      logger,
+		Tracer:      tracer,
 	})
 	cliutil.Check("texsimd", err)
 
@@ -75,14 +98,33 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/traces", tracer.DebugHandler())
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: mux,
+			ReadHeaderTimeout: 10 * time.Second}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
-		log.Printf("texsimd: listening on %s (workers %d, queue %d)", *addr, *workers, *queue)
+		logger.Info("listening", "addr", *addr, "workers", *workers, "queue", *queue)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+	if debugSrv != nil {
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			errCh <- debugSrv.ListenAndServe()
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -90,16 +132,21 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	log.Printf("texsimd: shutting down, draining jobs (up to %v)", *drainTimeout)
+	logger.Info("shutting down, draining jobs", "drain_timeout", drainTimeout.String())
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	// Stop taking connections first, then drain the pool.
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("texsimd: http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err.Error())
+	}
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug shutdown", "error", err.Error())
+		}
 	}
 	if err := srv.Drain(drainCtx); err != nil {
 		cliutil.Fail("texsimd", fmt.Errorf("drain incomplete: %w", err))
 	}
-	log.Printf("texsimd: drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"repro/internal/cliutil"
@@ -38,6 +39,8 @@ func main() {
 		par       = flag.Int("par", 1, "concurrent simulations")
 		asJSON    = flag.Bool("json", false, "emit the full JSON document instead of CSV")
 		outPath   = flag.String("o", "", "output file (default stdout)")
+		flightDir = flag.String("flight", "", "record per-node phase timelines and write one Chrome trace-event JSON file per configuration into this directory (load in Perfetto)")
+		flightInt = flag.Float64("flight-interval", 0, "flight recorder bucket width in cycles (0 = auto)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,10 @@ func main() {
 		Cache:  *cacheKind,
 		Buffer: *buffer,
 	}
+	if *flightDir != "" {
+		spec.Flight = true
+		spec.FlightInterval = *flightInt
+	}
 	cliutil.Check("texsweep", spec.Validate())
 
 	// Ctrl-C / SIGTERM abandons the remaining configurations.
@@ -68,6 +75,21 @@ func main() {
 
 	res, err := sweep.Run(ctx, spec, *par)
 	cliutil.Check("texsweep", err)
+
+	if *flightDir != "" {
+		cliutil.Check("texsweep", os.MkdirAll(*flightDir, 0o755))
+		for _, f := range res.Flights {
+			name := fmt.Sprintf("%s_%s%d_p%d.trace.json", spec.Scene, spec.Dist, f.Size, f.Procs)
+			path := filepath.Join(*flightDir, name)
+			cliutil.Check("texsweep", os.WriteFile(path, f.Trace, 0o644))
+			var busy float64
+			for _, n := range f.Summary {
+				busy += n.Utilization
+			}
+			fmt.Fprintf(os.Stderr, "texsweep: wrote %s (%d nodes, mean utilization %.1f%%)\n",
+				path, len(f.Summary), 100*busy/float64(len(f.Summary)))
+		}
+	}
 
 	out := os.Stdout
 	if *outPath != "" {

@@ -28,6 +28,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/raster"
 	"repro/internal/sim"
+	"repro/internal/telemetry/flight"
 	"repro/internal/texture"
 	"repro/internal/trace"
 )
@@ -261,6 +262,8 @@ type Machine struct {
 	// lastFIFOPeaks holds the per-node triangle-FIFO peak occupancy of the
 	// most recent frame.
 	lastFIFOPeaks []int
+	// flight, when non-nil, records every node's per-phase cycle timeline.
+	flight *flight.Recorder
 }
 
 // NewMachine builds a machine for the scene. The scene's texture table is
@@ -307,6 +310,19 @@ func NewMachine(scene *trace.Scene, cfg Config) (*Machine, error) {
 		m.engines = append(m.engines, e)
 	}
 	return m, nil
+}
+
+// EnableFlightRecorder attaches a flight recorder to every node and returns
+// it: subsequent runs record each node's cycles as setup/scan/stall/idle
+// phase timelines (see internal/telemetry/flight). interval is the bucket
+// width in cycles (0 = auto). The recorder is reset at the start of every
+// run, so it always holds the most recent run's timeline.
+func (m *Machine) EnableFlightRecorder(interval float64) *flight.Recorder {
+	m.flight = flight.New(m.cfg.Procs, interval)
+	for i, e := range m.engines {
+		e.SetRecorder(m.flight.Node(i))
+	}
+	return m.flight
 }
 
 // Run simulates the whole scene and returns the result. Run is
@@ -361,6 +377,9 @@ func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene)
 	for _, e := range m.engines {
 		e.Reset()
 	}
+	if m.flight != nil {
+		m.flight.Reset()
+	}
 	prev := make([]NodeResult, m.cfg.Procs)
 	frameStart := 0.0
 	var results []*Result
@@ -384,8 +403,13 @@ func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene)
 		res.Cycles = frameEnd - frameStart
 		results = append(results, res)
 		// End-of-frame barrier: all nodes wait for the buffer swap.
-		for _, e := range m.engines {
+		for i, e := range m.engines {
 			e.AdvanceTo(frameEnd)
+			if m.flight != nil {
+				// The barrier wait is idle time: pad every node to the
+				// frame end so phase totals sum to the machine cycles.
+				m.flight.Node(i).AdvanceIdle(frameEnd)
+			}
 		}
 		frameStart = frameEnd
 	}

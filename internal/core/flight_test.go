@@ -1,0 +1,141 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry/flight"
+)
+
+var updateFlightGolden = flag.Bool("update", false, "rewrite golden files")
+
+// flightMachine builds the 4-node machine used by the flight tests: a small
+// deterministic scene in the Fig. 5 configuration (block distribution,
+// default tile size) so the recorded timeline shows real load imbalance.
+func flightMachine(t *testing.T, interval float64) (*Machine, *flight.Recorder) {
+	t.Helper()
+	scene := testScene(5, 60, 96)
+	m, err := NewMachine(scene, Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, m.EnableFlightRecorder(interval)
+}
+
+// TestFlightPhaseSumsMatchMachine is the recorder's soundness contract: for
+// every node, setup+scan+stall+idle must equal the machine's completion
+// time exactly — the flight recording is a lossless decomposition of the
+// run, not a sampled approximation.
+func TestFlightPhaseSumsMatchMachine(t *testing.T) {
+	m, rec := flightMachine(t, 0)
+	res := m.Run()
+	if res.Cycles <= 0 {
+		t.Fatalf("machine ran for %v cycles", res.Cycles)
+	}
+	for _, s := range rec.Summary() {
+		sum := s.SetupCycles + s.ScanCycles + s.StallCycles + s.IdleCycles
+		if math.Abs(sum-s.TotalCycles) > 1e-6 {
+			t.Errorf("node %d: phases sum to %v, node total is %v", s.Node, sum, s.TotalCycles)
+		}
+		if math.Abs(s.TotalCycles-res.Cycles) > 1e-6 {
+			t.Errorf("node %d: total %v cycles, machine finished at %v (barrier padding missing?)",
+				s.Node, s.TotalCycles, res.Cycles)
+		}
+	}
+	// Cross-check against the machine's own counters: recorded stall and
+	// busy (scan+stall+setup) must agree with the engines' statistics.
+	for i, s := range rec.Summary() {
+		n := res.Nodes[i]
+		if math.Abs(s.StallCycles-n.StallCycles) > 1e-6 {
+			t.Errorf("node %d: recorded stall %v, engine counted %v", i, s.StallCycles, n.StallCycles)
+		}
+		busy := s.SetupCycles + s.ScanCycles + s.StallCycles
+		if math.Abs(busy-n.BusyCycles) > 1e-6 {
+			t.Errorf("node %d: recorded busy %v, engine counted %v", i, busy, n.BusyCycles)
+		}
+	}
+}
+
+// TestFlightRecorderReset runs the same machine twice and requires identical
+// recordings — the recorder must reset with the engines.
+func TestFlightRecorderReset(t *testing.T) {
+	m, rec := flightMachine(t, 0)
+	m.Run()
+	first, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	second, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("second run's trace differs from the first: recorder state leaked across runs")
+	}
+}
+
+// TestFlightTraceGolden locks the Chrome trace-event output for the 4-node
+// scene against a golden file. A fixed bucket interval keeps the output
+// stable; the golden file loads as-is in Perfetto (ui.perfetto.dev).
+func TestFlightTraceGolden(t *testing.T) {
+	m, rec := flightMachine(t, 2048)
+	m.Run()
+	got, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden or not, the trace must be valid JSON with events.
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 10 {
+		t.Fatalf("only %d trace events", len(doc.TraceEvents))
+	}
+
+	golden := filepath.Join("testdata", "flight_trace.golden.json")
+	if *updateFlightGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("flight trace differs from %s (%d vs %d bytes); run with -update after intentional changes",
+			golden, len(got), len(want))
+	}
+}
+
+// TestFlightDisabledUnchanged guards the zero-cost contract from the results
+// side: a machine with the recorder attached must simulate the exact same
+// cycle counts as one without.
+func TestFlightDisabledUnchanged(t *testing.T) {
+	scene := testScene(5, 60, 96)
+	plain, err := NewMachine(scene, Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := NewMachine(scene, Config{Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded.EnableFlightRecorder(0)
+	a, b := plain.Run(), recorded.Run()
+	if a.Cycles != b.Cycles || a.Fragments != b.Fragments {
+		t.Errorf("recorder changed the simulation: %v/%v cycles, %d/%d fragments",
+			a.Cycles, b.Cycles, a.Fragments, b.Fragments)
+	}
+}

@@ -51,6 +51,22 @@ type TriangleWork struct {
 	Segments []raster.Span
 }
 
+// PhaseRecorder receives per-triangle phase attributions from the engine —
+// the flight-recorder hook (internal/telemetry/flight). The engine reports
+// where each triangle's cycles went; the recorder derives idle time from
+// the gap between start and the end of the previous triangle it saw.
+//
+// The hook fires once per triangle, never per fragment, and only when a
+// recorder is attached: the disabled path is a single always-false nil
+// check, so recording costs nothing when off.
+type PhaseRecorder interface {
+	// RecordTriangle attributes one triangle beginning at start: scan
+	// cycles retiring fragments, stall cycles waiting on the texture bus,
+	// and setup cycles where the per-triangle setup floor exceeded the
+	// scan+stall work.
+	RecordTriangle(start, scan, stall, setup float64)
+}
+
 // Stats accumulates one node's counters across a run.
 type Stats struct {
 	Triangles   uint64  // triangles routed to this node (incl. zero-pixel)
@@ -82,6 +98,8 @@ type Engine struct {
 	// fragment PrefetchDepth slots earlier retires (when it enters the FIFO).
 	ring    []float64
 	ringPos int
+	// rec, when non-nil, receives one phase attribution per triangle.
+	rec PhaseRecorder
 }
 
 // New returns an idle engine with the given cache model and bus and the
@@ -115,6 +133,9 @@ func NewWithPrefetch(id, setupCycles, prefetchDepth int, c cache.Model, bus *mem
 	}
 	return e
 }
+
+// SetRecorder attaches (or, with nil, detaches) the flight-recorder hook.
+func (e *Engine) SetRecorder(r PhaseRecorder) { e.rec = r }
 
 // AttachL2 adds a second-level texture cache backed by a main-memory bus.
 // Must be called before the first triangle is processed.
@@ -203,6 +224,7 @@ func (e *Engine) StartTriangle(arrival float64) float64 {
 // scanning; a clipped sliver still costs the full setup time).
 func (e *Engine) ProcessTriangle(arrival float64, w *TriangleWork) float64 {
 	start := e.StartTriangle(arrival)
+	stall0 := e.stats.StallCycles
 	s := start
 	if e.pureScan {
 		for _, sp := range w.Segments {
@@ -210,7 +232,7 @@ func (e *Engine) ProcessTriangle(arrival float64, w *TriangleWork) float64 {
 			s += float64(n)
 			e.stats.Fragments += uint64(n)
 		}
-		return e.finishTriangle(start, s)
+		return e.finishTriangle(start, stall0, s)
 	}
 	for _, sp := range w.Segments {
 		yc := float64(sp.Y) + 0.5
@@ -261,18 +283,26 @@ func (e *Engine) ProcessTriangle(arrival float64, w *TriangleWork) float64 {
 			e.stats.Fragments++
 		}
 	}
-	return e.finishTriangle(start, s)
+	return e.finishTriangle(start, stall0, s)
 }
 
 // finishTriangle applies the setup-cost floor and advances the node clock.
-func (e *Engine) finishTriangle(start, s float64) float64 {
+// stall0 is the stall counter at triangle start, so the attached recorder
+// (if any) sees only this triangle's stall cycles.
+func (e *Engine) finishTriangle(start, stall0, s float64) float64 {
 	cost := s - start
+	setupPad := 0.0
 	if cost < e.setupCycles {
+		setupPad = e.setupCycles - cost
 		cost = e.setupCycles
 		e.stats.SetupBound++
 	}
 	e.stats.Triangles++
 	e.stats.BusyCycles += cost
 	e.time = start + cost
+	if e.rec != nil {
+		stall := e.stats.StallCycles - stall0
+		e.rec.RecordTriangle(start, s-start-stall, stall, setupPad)
+	}
 	return e.time
 }

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden locks the full text exposition format against a
+// golden file whose contents were validated against real Prometheus output
+// (promtool check metrics accepts it): HELP escaping, TYPE lines, label
+// rendering, cumulative histogram buckets with the +Inf bound, _sum/_count
+// lines, and — critically — children in sorted label order regardless of
+// first-use order.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("jobs_total", "Jobs accepted.")
+	c.Add(5)
+
+	// Registered in non-sorted order on purpose: the render must sort.
+	v := r.CounterVec("jobs_completed_total", "Jobs finished, by status.", "status")
+	v.With("failed").Inc()
+	v.With("done").Add(7)
+	v.With("canceled").Add(2)
+
+	g := r.Gauge("queue_depth", "Jobs waiting.\nSecond help line with a \\ backslash.")
+	g.Set(3.5)
+
+	h := r.Histogram("job_seconds", "Job wall time.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	hv := r.HistogramVec("request_seconds", "Request wall time by route.", []float64{0.01, 0.1}, "route")
+	hv.With("submit").Observe(0.05)
+	hv.With("list").Observe(0.005)
+	hv.With("submit").Observe(0.2)
+
+	var got []byte
+	{
+		buf := &writerCapture{}
+		if err := r.WritePrometheus(buf); err != nil {
+			t.Fatal(err)
+		}
+		got = buf.b
+	}
+
+	golden := filepath.Join("testdata", "golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("exposition output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestRenderOrderStable registers identical children in two different
+// first-use orders and requires byte-identical scrapes.
+func TestRenderOrderStable(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		v := r.CounterVec("x_total", "X.", "k")
+		for _, k := range order {
+			v.With(k).Inc()
+		}
+		buf := &writerCapture{}
+		if err := r.WritePrometheus(buf); err != nil {
+			t.Fatal(err)
+		}
+		return string(buf.b)
+	}
+	a := build([]string{"b", "c", "a"})
+	b := build([]string{"c", "a", "b"})
+	if a != b {
+		t.Errorf("scrape depends on first-use order:\n%s\nvs\n%s", a, b)
+	}
+}
+
+type writerCapture struct{ b []byte }
+
+func (w *writerCapture) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

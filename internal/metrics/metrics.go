@@ -238,6 +238,13 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	return v.f.child(ls, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
 }
 
+// escapeHelp escapes backslashes and newlines in HELP text, as the
+// exposition format requires (an unescaped newline corrupts the scrape).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // fnum renders a float the way the exposition format expects; %g avoids
 // trailing-zero noise in the scrape output.
 func fnum(v float64) string {
@@ -264,6 +271,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range fams {
 		f.mu.Lock()
 		order := append([]string(nil), f.order...)
+		// Stable output: children render in sorted label order, not
+		// first-use order — concurrent With calls must not reshuffle the
+		// scrape between renders.
+		sort.Strings(order)
 		children := make([]any, len(order))
 		for i, ls := range order {
 			children[i] = f.children[ls]
@@ -272,7 +283,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 		kind := map[metricKind]string{kindCounter: "counter", kindGauge: "gauge", kindHistogram: "histogram"}[f.kind]
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}

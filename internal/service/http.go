@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
+
+	"repro/internal/telemetry/tracing"
 )
 
 // Handler returns the service's HTTP API:
@@ -16,17 +19,50 @@ import (
 //	GET    /api/v1/jobs/{id}/result result payload of a done job
 //	DELETE /api/v1/jobs/{id}        cancel a queued or running job
 //	GET    /metrics                 Prometheus text exposition
+//	GET    /debug/traces            recent request/job spans (JSON)
 //	GET    /healthz                 liveness probe
+//
+// Every request runs inside a server span (incoming W3C traceparent headers
+// are honoured, responses carry one back) and is counted in the per-route
+// request and latency metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(route, h))
+	}
+	handle("POST /api/v1/jobs", "submit", s.handleSubmit)
+	handle("GET /api/v1/jobs", "list", s.handleList)
+	handle("GET /api/v1/jobs/{id}", "status", s.handleStatus)
+	handle("GET /api/v1/jobs/{id}/result", "result", s.handleResult)
+	handle("DELETE /api/v1/jobs/{id}", "cancel", s.handleCancel)
+	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /debug/traces", "traces", s.tracer.DebugHandler().ServeHTTP)
+	handle("GET /healthz", "healthz", s.handleHealthz)
+	return tracing.Middleware(s.tracer, mux)
+}
+
+// statusRecorder captures the response code for the route metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route with request-count and latency metrics. The
+// route label is a fixed name per pattern, never the raw path, so metric
+// cardinality stays bounded.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, r)
+		s.mHTTPReqs.With(route, strconv.Itoa(sr.code)).Inc()
+		s.mHTTPDur.With(route).Observe(time.Since(start).Seconds())
+	})
 }
 
 // jobView is the wire shape of a job record.
@@ -87,7 +123,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	j, err := s.Submit(&req)
+	j, err := s.Submit(r.Context(), &req)
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/internal/telemetry/logging"
+	"repro/internal/telemetry/tracing"
+)
+
+// syncBuffer collects log output from worker goroutines safely.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) lines(t *testing.T) []map[string]any {
+	t.Helper()
+	b.mu.Lock()
+	raw := b.buf.String()
+	b.mu.Unlock()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+const testTraceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+// TestTracePropagationEndToEnd follows one request from its traceparent
+// header through the queue into the worker: the HTTP span and the job span
+// share the caller's trace ID, /debug/traces serves both, and the job's
+// structured log lines carry the same request ID and trace ID — the
+// correlation contract the observability layer exists for.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	logs := &syncBuffer{}
+	_, ts := newTestServer(t, Config{
+		Logger: logging.New(logs, 0 /* info */, "json"),
+	})
+
+	body, _ := json.Marshal(tinySweep())
+	req, err := http.NewRequest("POST", ts.URL+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(tracing.TraceparentHeader, testTraceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+	wantTrace := strings.Split(testTraceparent, "-")[1]
+	// The response carries the continuation header back.
+	if got := resp.Header.Get(tracing.TraceparentHeader); !strings.Contains(got, wantTrace) {
+		t.Errorf("response traceparent = %q, want trace %s", got, wantTrace)
+	}
+	waitDone(t, ts, v.ID)
+
+	// Both the server span and the worker-side job span are in the debug
+	// view, on the caller's trace.
+	var traces struct {
+		Spans []tracing.SpanView `json:"spans"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces?trace="+wantTrace, &traces); code != http.StatusOK {
+		t.Fatalf("/debug/traces returned %d", code)
+	}
+	var httpSpan, jobSpan *tracing.SpanView
+	for i := range traces.Spans {
+		switch traces.Spans[i].Name {
+		case "POST /api/v1/jobs":
+			httpSpan = &traces.Spans[i]
+		case "job sweep":
+			jobSpan = &traces.Spans[i]
+		}
+	}
+	if httpSpan == nil || jobSpan == nil {
+		t.Fatalf("missing spans on trace %s: %+v", wantTrace, traces.Spans)
+	}
+	if httpSpan.ParentID != strings.Split(testTraceparent, "-")[2] {
+		t.Errorf("http span parent = %q, want the caller's span ID", httpSpan.ParentID)
+	}
+
+	attrs := map[string]string{}
+	for _, a := range jobSpan.Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["job_id"] != v.ID {
+		t.Errorf("job span job_id = %q, want %q", attrs["job_id"], v.ID)
+	}
+	if attrs["status"] != string(StatusDone) {
+		t.Errorf("job span status = %q", attrs["status"])
+	}
+	requestID := attrs["request_id"]
+	if requestID == "" {
+		t.Fatal("job span has no request_id")
+	}
+
+	// The job's log lines carry the same correlation IDs.
+	var finished map[string]any
+	for _, rec := range logs.lines(t) {
+		if rec["msg"] == "job finished" && rec["job_id"] == v.ID {
+			finished = rec
+		}
+	}
+	if finished == nil {
+		t.Fatal("no 'job finished' log line for the job")
+	}
+	if finished["request_id"] != requestID {
+		t.Errorf("log request_id = %v, span says %q", finished["request_id"], requestID)
+	}
+	if finished["trace_id"] != wantTrace {
+		t.Errorf("log trace_id = %v, want %s", finished["trace_id"], wantTrace)
+	}
+
+	// Queue-wait and per-route latency metrics exist for the flow.
+	if n := metricValue(t, ts, `texsimd_http_requests_total{route="submit",code="202"}`); n != 1 {
+		t.Errorf("submit request counter = %v", n)
+	}
+	if n := metricValue(t, ts, `texsimd_job_queue_wait_seconds_count{type="sweep"}`); n != 1 {
+		t.Errorf("queue wait count = %v", n)
+	}
+}
+
+// TestSubmitWithoutTraceparentRootsTrace: requests without a header still
+// get spans, on a fresh trace.
+func TestSubmitWithoutTraceparentRootsTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v, code := postJob(t, ts, tinySweep())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	waitDone(t, ts, v.ID)
+	var traces struct {
+		Spans []tracing.SpanView `json:"spans"`
+	}
+	getJSON(t, ts.URL+"/debug/traces", &traces)
+	for _, s := range traces.Spans {
+		if s.Name == "job sweep" && s.TraceID != "" {
+			return
+		}
+	}
+	t.Fatalf("no job span found: %+v", traces.Spans)
+}
+
+// TestFlightJobOption submits a sweep with the flight recorder enabled and
+// checks the result embeds one recording per configuration, with exact
+// phase decompositions and a loadable Chrome trace.
+func TestFlightJobOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := tinySweep()
+	req.Sweep.Flight = true
+	v, code := postJob(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	if got := waitDone(t, ts, v.ID); got.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", got.Status, got.Error)
+	}
+
+	var res sweep.Result
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/"+v.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result returned %d", code)
+	}
+	if len(res.Flights) != len(res.Rows) {
+		t.Fatalf("%d flight recordings for %d rows", len(res.Flights), len(res.Rows))
+	}
+	for i, f := range res.Flights {
+		if len(f.Summary) != f.Procs {
+			t.Errorf("flight %d: %d node summaries for %d procs", i, len(f.Summary), f.Procs)
+		}
+		for _, s := range f.Summary {
+			sum := s.SetupCycles + s.ScanCycles + s.StallCycles + s.IdleCycles
+			if diff := sum - s.TotalCycles; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("flight %d node %d: phases sum to %v, total %v", i, s.Node, sum, s.TotalCycles)
+			}
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(f.Trace, &doc); err != nil {
+			t.Errorf("flight %d trace is not valid JSON: %v", i, err)
+		} else if len(doc.TraceEvents) == 0 {
+			t.Errorf("flight %d trace has no events", i)
+		}
+	}
+
+	// The flight flag is part of the cache key: the same sweep without
+	// flight must not be answered from this job's cached result.
+	plain, code := postJob(t, ts, tinySweep())
+	if code != http.StatusAccepted {
+		t.Fatal("plain resubmit rejected")
+	}
+	if got := waitDone(t, ts, plain.ID); got.FromCache {
+		t.Error("flight and non-flight sweeps shared a cache entry")
+	}
+}

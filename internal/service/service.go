@@ -15,7 +15,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +26,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/resultcache"
 	"repro/internal/sweep"
+	"repro/internal/telemetry/logging"
+	"repro/internal/telemetry/tracing"
 )
 
 // Config tunes the service. Zero values mean the documented defaults.
@@ -45,8 +50,15 @@ type Config struct {
 	// OutDir is where image-producing experiment jobs write files
 	// (default "out").
 	OutDir string
-	// Logf, when non-nil, receives one line per job state change.
+	// Logger receives structured job/request logs. When nil, log lines are
+	// bridged to Logf if that is set, and dropped otherwise.
+	Logger *slog.Logger
+	// Logf, when non-nil and Logger is nil, receives one rendered line per
+	// log record — the legacy test hook.
 	Logf func(format string, args ...any)
+	// Tracer records request and job spans (nil = a fresh tracer with
+	// default capacity). Handler serves its ring at /debug/traces.
+	Tracer *tracing.Tracer
 
 	// runOverride replaces job execution in tests.
 	runOverride func(ctx context.Context, req *Request) ([]byte, error)
@@ -137,14 +149,26 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	cancel    context.CancelFunc // non-nil from submission until finish
+
+	// requestID correlates the job's log lines and spans with the HTTP
+	// request that submitted it (the submit span's ID, or the job ID for
+	// direct Submit callers).
+	requestID string
+	// traceID/parentSpan carry the submit-time trace context so the job's
+	// run span joins the same trace, however much later a worker picks the
+	// job up.
+	traceID    tracing.TraceID
+	parentSpan tracing.SpanID
 }
 
 // Server is the simulation service. Create with New, expose with Handler,
 // stop with Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg   Config
-	reg   *metrics.Registry
-	cache *resultcache.Cache
+	cfg    Config
+	reg    *metrics.Registry
+	cache  *resultcache.Cache
+	logger *slog.Logger
+	tracer *tracing.Tracer
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -169,6 +193,9 @@ type Server struct {
 	mSimCycles *metrics.Counter
 	mCPS       *metrics.Gauge
 	mDuration  *metrics.HistogramVec // by scene
+	mQueueWait *metrics.HistogramVec // by type
+	mHTTPReqs  *metrics.CounterVec   // by route, code
+	mHTTPDur   *metrics.HistogramVec // by route
 }
 
 // New builds the server and starts its worker pool. ctx is the root of
@@ -199,11 +226,24 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = tracing.NewTracer(0)
+	}
+	logger := cfg.Logger
+	if logger == nil && cfg.Logf != nil {
+		// Legacy bridge: render records as text lines into the Logf hook.
+		logger = logging.New(logfWriter{cfg.Logf}, slog.LevelDebug, "text")
+	}
+	if logger == nil {
+		logger = logging.Discard()
+	}
 	baseCtx, baseCancel := context.WithCancel(ctx)
 	s := &Server{
 		cfg:        cfg,
 		reg:        cfg.Metrics,
 		cache:      cfg.Cache,
+		logger:     logger,
+		tracer:     cfg.Tracer,
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -221,6 +261,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mSimCycles = r.Counter("texsimd_simulated_cycles_total", "Simulated machine cycles across completed sweep jobs.")
 	s.mCPS = r.Gauge("texsimd_simulated_cycles_per_second", "Simulated cycles per wall-second of the most recent uncached sweep job.")
 	s.mDuration = r.HistogramVec("texsimd_job_duration_seconds", "Job wall time from start to finish.", nil, "scene")
+	s.mQueueWait = r.HistogramVec("texsimd_job_queue_wait_seconds", "Job wall time from submission to a worker picking it up.", nil, "type")
+	s.mHTTPReqs = r.CounterVec("texsimd_http_requests_total", "HTTP requests served, by route and status code.", "route", "code")
+	s.mHTTPDur = r.HistogramVec("texsimd_http_request_duration_seconds", "HTTP request wall time, by route.", nil, "route")
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -229,15 +272,25 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
+// logfWriter bridges rendered log lines into the legacy Logf test hook.
+type logfWriter struct {
+	f func(format string, args ...any)
 }
 
+func (w logfWriter) Write(p []byte) (int, error) {
+	w.f("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+// Tracer returns the server's span tracer — its ring backs /debug/traces.
+func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
+
 // Submit validates, registers and enqueues a request. It returns the job
-// record, or an error classified by errSubmit.
-func (s *Server) Submit(req *Request) (*job, error) {
+// record, or an error classified by errSubmit. ctx is only the carrier of
+// the submitter's trace context and request ID (from the HTTP middleware);
+// the job's own lifetime is governed by the server's root context, not by
+// ctx, so a closed client connection never cancels an accepted job.
+func (s *Server) Submit(ctx context.Context, req *Request) (*job, error) {
 	if err := req.normalize(); err != nil {
 		return nil, &submitError{code: 400, err: err}
 	}
@@ -246,7 +299,7 @@ func (s *Server) Submit(req *Request) (*job, error) {
 		return nil, &submitError{code: 400, err: err}
 	}
 
-	ctx, cancel := context.WithCancel(s.baseCtx)
+	jctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -258,11 +311,26 @@ func (s *Server) Submit(req *Request) (*job, error) {
 		id:        fmt.Sprintf("job-%06d", s.seq),
 		req:       req,
 		key:       key,
-		ctx:       ctx,
 		status:    StatusQueued,
 		submitted: time.Now(),
 		cancel:    cancel,
 	}
+	j.requestID = j.id
+	if span := tracing.FromContext(ctx); span != nil {
+		j.requestID = span.SpanID().String()
+		j.traceID = span.TraceID()
+		j.parentSpan = span.SpanID()
+		span.SetAttr("job_id", j.id)
+	}
+	// Every log line of this job carries its correlation IDs.
+	attrs := []slog.Attr{
+		slog.String("job_id", j.id),
+		slog.String("request_id", j.requestID),
+	}
+	if !j.traceID.IsZero() {
+		attrs = append(attrs, slog.String("trace_id", j.traceID.String()))
+	}
+	j.ctx = logging.WithAttrs(jctx, attrs...)
 	// The push happens under s.mu so it cannot race with Drain closing the
 	// queue; it is non-blocking, so the lock is never held for long.
 	select {
@@ -280,7 +348,8 @@ func (s *Server) Submit(req *Request) (*job, error) {
 
 	s.mSubmitted.With(req.Type).Inc()
 	s.mQueued.Set(float64(len(s.queue)))
-	s.logf("texsimd: %s queued (%s, key %.12s…)", j.id, req.Type, key)
+	s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job queued",
+		slog.String("type", req.Type), slog.String("cache_key", key[:12]))
 	return j, nil
 }
 
@@ -315,6 +384,19 @@ func (s *Server) runJob(j *job) {
 	s.mQueued.Set(float64(len(s.queue)))
 	s.mRunning.Add(1)
 	defer s.mRunning.Add(-1)
+	s.mQueueWait.With(j.req.Type).Observe(j.started.Sub(j.submitted).Seconds())
+
+	// The run span joins the submitter's trace (stored on the job record at
+	// submit time), so /debug/traces shows the HTTP submit span and the
+	// worker-side run span under one trace ID however long the queue wait.
+	spanCtx := j.ctx
+	if !j.traceID.IsZero() {
+		spanCtx = tracing.ContextWithRemoteParent(spanCtx, j.traceID, j.parentSpan)
+	}
+	_, span := s.tracer.StartSpan(spanCtx, "job "+j.req.Type)
+	span.SetAttr("job_id", j.id)
+	span.SetAttr("request_id", j.requestID)
+	span.SetAttr("scene", j.req.scene())
 
 	ctx := j.ctx
 	if s.cfg.JobTimeout > 0 {
@@ -341,7 +423,8 @@ func (s *Server) runJob(j *job) {
 		}
 		if cerr := s.cache.Put(j.key, payload); cerr != nil {
 			// A cold disk tier is an availability loss, not a job failure.
-			s.logf("texsimd: %s: result cache write failed: %v", j.id, cerr)
+			s.logger.LogAttrs(j.ctx, slog.LevelWarn, "result cache write failed",
+				slog.String("error", cerr.Error()))
 		}
 		return payload, false, nil
 	}()
@@ -379,7 +462,25 @@ func (s *Server) runJob(j *job) {
 			}
 		}
 	}
-	s.logf("texsimd: %s %s in %.2fs (cache hit: %v)", j.id, final, wall, fromCache)
+	span.SetAttr("status", string(final))
+	span.SetAttr("cache_hit", strconv.FormatBool(fromCache))
+	if err != nil {
+		span.SetError(err)
+	}
+	span.End()
+	level := slog.LevelInfo
+	if final == StatusFailed {
+		level = slog.LevelError
+	}
+	logAttrs := []slog.Attr{
+		slog.String("status", string(final)),
+		slog.Float64("wall_seconds", wall),
+		slog.Bool("cache_hit", fromCache),
+	}
+	if err != nil {
+		logAttrs = append(logAttrs, slog.String("error", err.Error()))
+	}
+	s.logger.LogAttrs(j.ctx, level, "job finished", logAttrs...)
 }
 
 // execute runs the actual simulation work and returns the result payload.

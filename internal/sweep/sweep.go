@@ -18,6 +18,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/par"
 	"repro/internal/scene"
+	"repro/internal/telemetry/flight"
 )
 
 // Spec describes one sweep: a scene plus the machine axes. The zero values
@@ -42,6 +43,14 @@ type Spec struct {
 	Cache string `json:"cache,omitempty"`
 	// Buffer is the triangle-buffer depth (0 = paper default).
 	Buffer int `json:"buffer,omitempty"`
+	// Flight enables the simulation flight recorder: every configuration's
+	// run is recorded as per-node setup/scan/stall/idle phase timelines and
+	// the Result gains one Flight entry (summary + Chrome trace-event JSON)
+	// per row. Part of the cache key: a flight sweep is a different result
+	// document than a plain one.
+	Flight bool `json:"flight,omitempty"`
+	// FlightInterval is the recorder bucket width in cycles (0 = auto).
+	FlightInterval float64 `json:"flight_interval,omitempty"`
 }
 
 // WithDefaults returns the spec with unset axes replaced by the defaults
@@ -94,6 +103,12 @@ func (s Spec) Validate() error {
 	if s.Buffer < 0 {
 		return fmt.Errorf("buffer: %d must be non-negative", s.Buffer)
 	}
+	if s.FlightInterval < 0 {
+		return fmt.Errorf("flight_interval: %v must be non-negative", s.FlightInterval)
+	}
+	if s.FlightInterval > 0 && !s.Flight {
+		return fmt.Errorf("flight_interval set without flight")
+	}
 	return nil
 }
 
@@ -137,11 +152,24 @@ type Row struct {
 	StallCycles    float64 `json:"stall_cycles"`
 }
 
+// Flight is one configuration's flight recording: the per-node phase
+// summary and the Chrome trace-event JSON document (Perfetto-loadable),
+// in the same order as the Rows it parallels.
+type Flight struct {
+	Procs   int                  `json:"procs"`
+	Size    int                  `json:"size"`
+	Summary []flight.NodeSummary `json:"summary"`
+	Trace   json.RawMessage      `json:"trace"`
+}
+
 // Result is a completed sweep: the defaulted spec it ran plus its rows in
 // deterministic (procs-major, then size) order.
 type Result struct {
 	Spec Spec  `json:"spec"`
 	Rows []Row `json:"rows"`
+	// Flights holds one flight recording per row when Spec.Flight is set,
+	// in row order.
+	Flights []Flight `json:"flights,omitempty"`
 	// SimulatedCycles is the total simulated time across all
 	// configurations, the numerator of the service's cycles-per-wall-second
 	// throughput metric.
@@ -195,11 +223,31 @@ func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
 		}
 	}
 	rows := make([]Row, len(jobs))
+	var flights []Flight
+	if spec.Flight {
+		flights = make([]Flight, len(jobs))
+	}
 	err = par.ForEach(ctx, parallelism, len(jobs), func(i int) error {
 		cfg := mkConfig(jobs[i].procs, jobs[i].size)
-		res, err := core.SimulateContext(ctx, sc, cfg)
+		m, err := core.NewMachine(sc, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name(), err)
+		}
+		var rec *flight.Recorder
+		if spec.Flight {
+			rec = m.EnableFlightRecorder(spec.FlightInterval)
+		}
+		res, err := m.RunContext(ctx)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.Name(), err)
+		}
+		if rec != nil {
+			tr, err := rec.Trace()
+			if err != nil {
+				return fmt.Errorf("%s: rendering flight trace: %w", cfg.Name(), err)
+			}
+			flights[i] = Flight{Procs: jobs[i].procs, Size: jobs[i].size,
+				Summary: rec.Summary(), Trace: tr}
 		}
 		var stall float64
 		for n := range res.Nodes {
@@ -221,7 +269,7 @@ func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Spec: spec, Rows: rows}
+	out := &Result{Spec: spec, Rows: rows, Flights: flights}
 	for i := range rows {
 		out.SimulatedCycles += rows[i].Cycles
 	}

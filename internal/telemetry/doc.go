@@ -1,0 +1,23 @@
+// Package telemetry groups the repository's observability layers:
+//
+//   - telemetry/flight is the simulation flight recorder: an opt-in,
+//     zero-cost-when-disabled hook in the engine hot path that buckets each
+//     node's cycles into phases (setup, scan, texture-stall, idle) over
+//     fixed simulated-time intervals and renders them as Chrome trace-event
+//     JSON, viewable in Perfetto or chrome://tracing. It answers the
+//     question the paper's Figures 5–9 answer — where do the cycles go? —
+//     for any single run.
+//
+//   - telemetry/tracing is span-based request tracing for the texsimd
+//     service: W3C traceparent propagation, an in-memory ring of finished
+//     spans served at /debug/traces, and HTTP middleware tying HTTP
+//     requests to the simulation jobs they spawn.
+//
+//   - telemetry/logging configures structured log/slog output and threads
+//     per-request attributes (request ID, trace ID) through contexts so
+//     every log line of a job is correlated with its spans.
+//
+// The flight recorder is deterministic (pure cycle arithmetic, under the
+// determinism analyzer's result-cache soundness contract); the tracing and
+// logging layers read the wall clock and live outside the simulator scope.
+package telemetry

@@ -1,0 +1,348 @@
+// Package flight is the simulation flight recorder: it attributes every
+// cycle of every node of the parallel machine to one of four phases and
+// buckets the attributions over fixed intervals of simulated time, so a run
+// can be replayed as a timeline instead of a single end-of-run aggregate.
+//
+// The phases mirror the cycle taxonomy of the paper's result sections:
+//
+//   - setup: cycles where the triangle setup floor (25 cycles/triangle)
+//     exceeds the scan work — the small-triangle overhead of §2.3 that
+//     dominates tiny tiles;
+//   - scan: cycles retiring fragments at one per cycle;
+//   - stall: scanner cycles lost waiting on the texture bus (split 4×4
+//     cache lines, bandwidth saturation);
+//   - idle: cycles with no triangle to work on — load imbalance, FIFO
+//     starvation, and the end-of-frame barrier.
+//
+// Attribution is exact: for every node, setup+scan+stall+idle equals the
+// node's total simulated time, so the recorder is a lossless decomposition
+// of the machine's cycle count. The recorder is pure cycle arithmetic —
+// no wall clock, no randomness — and therefore safe inside the simulator's
+// determinism contract (result-cache soundness).
+//
+// Rendering: WriteTrace emits Chrome trace-event JSON loadable in Perfetto
+// or chrome://tracing (one thread per node, one slice per phase segment,
+// plus a per-node busy-fraction counter track), and Summary returns the
+// per-node totals for programmatic use.
+package flight
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Phase classifies where a node's cycles went.
+type Phase int
+
+// The four phases, in trace rendering order.
+const (
+	PhaseSetup Phase = iota
+	PhaseScan
+	PhaseStall
+	PhaseIdle
+	NumPhases
+)
+
+// String returns the phase name used in trace events and summaries.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseScan:
+		return "scan"
+	case PhaseStall:
+		return "stall"
+	case PhaseIdle:
+		return "idle"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// autoInitialInterval is the starting bucket width (cycles) in auto mode.
+const autoInitialInterval = 256
+
+// maxAutoBuckets bounds the per-node bucket count in auto mode: when a run
+// outgrows it, the interval doubles and adjacent buckets merge, so any run
+// ends with between maxAutoBuckets/2 and maxAutoBuckets buckets — enough
+// resolution to see imbalance, small enough to embed in a result document.
+const maxAutoBuckets = 256
+
+// bucket accumulates cycles per phase within one interval.
+type bucket [NumPhases]float64
+
+// Node is one engine's recorder. It implements the engine's PhaseRecorder
+// hook: the engine reports each triangle's phase cycles and the node tracks
+// its own time cursor, deriving idle time from the gaps.
+type Node struct {
+	rec     *Recorder
+	id      int
+	cursor  float64 // simulated time accounted for so far
+	totals  bucket
+	buckets []bucket
+}
+
+// Recorder records one machine run: one Node per engine sharing a common
+// bucket interval, so all nodes' timelines stay aligned after rescaling.
+type Recorder struct {
+	initial  float64 // configured interval (0 = auto)
+	interval float64
+	auto     bool
+	nodes    []*Node
+}
+
+// New returns a recorder for the given node count. interval is the bucket
+// width in cycles; 0 selects auto mode, which starts fine and doubles the
+// width whenever a run outgrows maxAutoBuckets buckets.
+func New(nodes int, interval float64) *Recorder {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("flight: node count %d must be positive", nodes))
+	}
+	if interval < 0 {
+		panic(fmt.Sprintf("flight: interval %v must be non-negative", interval))
+	}
+	r := &Recorder{initial: interval}
+	r.reset()
+	for i := 0; i < nodes; i++ {
+		r.nodes = append(r.nodes, &Node{rec: r, id: i})
+	}
+	return r
+}
+
+func (r *Recorder) reset() {
+	r.interval = r.initial
+	r.auto = r.initial == 0
+	if r.auto {
+		r.interval = autoInitialInterval
+	}
+}
+
+// Reset clears all recorded data, returning the recorder to its initial
+// interval; the machine calls it alongside the engines' own resets.
+func (r *Recorder) Reset() {
+	r.reset()
+	for _, n := range r.nodes {
+		n.cursor = 0
+		n.totals = bucket{}
+		n.buckets = n.buckets[:0]
+	}
+}
+
+// Nodes returns the node count.
+func (r *Recorder) Nodes() int { return len(r.nodes) }
+
+// Interval returns the current bucket width in cycles (it grows in auto
+// mode as the run lengthens).
+func (r *Recorder) Interval() float64 { return r.interval }
+
+// Node returns node i's recorder, the object handed to engine i.
+func (r *Recorder) Node(i int) *Node { return r.nodes[i] }
+
+// RecordTriangle attributes one triangle's cycles: the node idled from the
+// end of its previous work until start, then spent scan, stall and setup
+// cycles (in that within-triangle order — exact in total, approximate in
+// sub-triangle ordering, which is finer than any bucket).
+func (n *Node) RecordTriangle(start, scan, stall, setup float64) {
+	if start > n.cursor {
+		n.rec.add(n, PhaseIdle, n.cursor, start)
+		n.cursor = start
+	}
+	n.span(PhaseScan, scan)
+	n.span(PhaseStall, stall)
+	n.span(PhaseSetup, setup)
+}
+
+// AdvanceIdle pads the node with idle time up to t — the end-of-frame
+// barrier, where every node waits for the slowest before the buffer swap.
+func (n *Node) AdvanceIdle(t float64) {
+	if t > n.cursor {
+		n.rec.add(n, PhaseIdle, n.cursor, t)
+		n.cursor = t
+	}
+}
+
+func (n *Node) span(p Phase, d float64) {
+	if d > 0 {
+		n.rec.add(n, p, n.cursor, n.cursor+d)
+		n.cursor += d
+	}
+}
+
+// add accumulates [t0, t1) cycles of phase p, splitting across bucket
+// boundaries so each bucket holds exactly the cycles spent inside it.
+func (r *Recorder) add(n *Node, p Phase, t0, t1 float64) {
+	if t1 <= t0 {
+		return
+	}
+	n.totals[p] += t1 - t0
+	if r.auto {
+		for t1 > r.interval*maxAutoBuckets {
+			r.rescale()
+		}
+	}
+	for t0 < t1 {
+		b := int(t0 / r.interval)
+		for len(n.buckets) <= b {
+			n.buckets = append(n.buckets, bucket{})
+		}
+		end := r.interval * float64(b+1)
+		if end > t1 {
+			end = t1
+		}
+		if end <= t0 { // float-boundary guard: never loop in place
+			end = t1
+		}
+		n.buckets[b][p] += end - t0
+		t0 = end
+	}
+}
+
+// rescale doubles the interval and merges adjacent bucket pairs on every
+// node, keeping all timelines aligned on the shared grid.
+func (r *Recorder) rescale() {
+	r.interval *= 2
+	for _, n := range r.nodes {
+		half := (len(n.buckets) + 1) / 2
+		for i := 0; i < half; i++ {
+			merged := n.buckets[2*i]
+			if 2*i+1 < len(n.buckets) {
+				for p := range merged {
+					merged[p] += n.buckets[2*i+1][p]
+				}
+			}
+			n.buckets[i] = merged
+		}
+		n.buckets = n.buckets[:half]
+	}
+}
+
+// NodeSummary is one node's cycle decomposition over a whole run.
+type NodeSummary struct {
+	Node        int     `json:"node"`
+	SetupCycles float64 `json:"setup_cycles"`
+	ScanCycles  float64 `json:"scan_cycles"`
+	StallCycles float64 `json:"stall_cycles"`
+	IdleCycles  float64 `json:"idle_cycles"`
+	TotalCycles float64 `json:"total_cycles"`
+	// Utilization is the busy fraction: (total − idle) / total.
+	Utilization float64 `json:"utilization"`
+}
+
+// Summary returns the per-node phase totals in node order.
+func (r *Recorder) Summary() []NodeSummary {
+	out := make([]NodeSummary, len(r.nodes))
+	for i, n := range r.nodes {
+		s := NodeSummary{
+			Node:        i,
+			SetupCycles: n.totals[PhaseSetup],
+			ScanCycles:  n.totals[PhaseScan],
+			StallCycles: n.totals[PhaseStall],
+			IdleCycles:  n.totals[PhaseIdle],
+			TotalCycles: n.cursor,
+		}
+		if s.TotalCycles > 0 {
+			s.Utilization = (s.TotalCycles - s.IdleCycles) / s.TotalCycles
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// traceEvent is one Chrome trace-event object. Ts and Dur are microseconds
+// in the Chrome format; the recorder maps one simulated cycle to one
+// microsecond, so Perfetto's "1 ms" is 1000 cycles.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace renders the recording as Chrome trace-event JSON: one thread
+// per node carrying its phase slices, plus one counter track per node with
+// the per-bucket busy fraction. The output loads directly in Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(e traceEvent) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+
+	if err := emit(traceEvent{Name: "process_name", Ph: "M",
+		Args: map[string]any{"name": "texsim machine"}}); err != nil {
+		return err
+	}
+	for i := range r.nodes {
+		if err := emit(traceEvent{Name: "thread_name", Ph: "M", Tid: i,
+			Args: map[string]any{"name": fmt.Sprintf("node %02d", i)}}); err != nil {
+			return err
+		}
+	}
+	for i, n := range r.nodes {
+		for b, cycles := range n.buckets {
+			ts := r.interval * float64(b)
+			span := 0.0
+			for p := Phase(0); p < NumPhases; p++ {
+				span += cycles[p]
+			}
+			// Phase slices laid out back to back inside the bucket: exact
+			// in area, sub-bucket ordering is presentational.
+			off := ts
+			for p := Phase(0); p < NumPhases; p++ {
+				if cycles[p] <= 0 {
+					continue
+				}
+				d := cycles[p]
+				if err := emit(traceEvent{Name: p.String(), Cat: "phase", Ph: "X",
+					Ts: off, Dur: &d, Tid: i}); err != nil {
+					return err
+				}
+				off += cycles[p]
+			}
+			if span > 0 {
+				busy := (span - cycles[PhaseIdle]) / span
+				if err := emit(traceEvent{Name: fmt.Sprintf("busy node %02d", i),
+					Ph: "C", Ts: ts, Tid: i,
+					Args: map[string]any{"busy": busy}}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Trace returns WriteTrace's output as bytes, for embedding in result
+// documents.
+func (r *Recorder) Trace() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,195 @@
+package flight
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPhaseAttributionExact(t *testing.T) {
+	r := New(2, 100)
+	n := r.Node(0)
+
+	// Triangle at t=0: 30 scan, 10 stall, no setup pad.
+	n.RecordTriangle(0, 30, 10, 0)
+	// Gap 40..70 is idle; then 5 scan with a 20-cycle setup pad.
+	n.RecordTriangle(70, 5, 0, 20)
+	// Frame barrier pads to 150.
+	n.AdvanceIdle(150)
+
+	s := r.Summary()[0]
+	if !almost(s.ScanCycles, 35) || !almost(s.StallCycles, 10) ||
+		!almost(s.SetupCycles, 20) || !almost(s.IdleCycles, 85) {
+		t.Errorf("phase totals = %+v", s)
+	}
+	if !almost(s.TotalCycles, 150) {
+		t.Errorf("TotalCycles = %v, want 150", s.TotalCycles)
+	}
+	sum := s.SetupCycles + s.ScanCycles + s.StallCycles + s.IdleCycles
+	if !almost(sum, s.TotalCycles) {
+		t.Errorf("phases sum to %v, total is %v", sum, s.TotalCycles)
+	}
+	if !almost(s.Utilization, 65.0/150) {
+		t.Errorf("Utilization = %v", s.Utilization)
+	}
+
+	// Node 1 never ran: everything zero, no NaN utilization.
+	s1 := r.Summary()[1]
+	if s1.TotalCycles != 0 || s1.Utilization != 0 {
+		t.Errorf("untouched node summary = %+v", s1)
+	}
+}
+
+func TestBucketSplitting(t *testing.T) {
+	r := New(1, 100)
+	n := r.Node(0)
+	// One 250-cycle scan burst spans buckets [0,100), [100,200), [200,250).
+	n.RecordTriangle(0, 250, 0, 0)
+
+	want := []float64{100, 100, 50}
+	if len(n.buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(n.buckets), len(want))
+	}
+	for i, w := range want {
+		if !almost(n.buckets[i][PhaseScan], w) {
+			t.Errorf("bucket %d scan = %v, want %v", i, n.buckets[i][PhaseScan], w)
+		}
+	}
+}
+
+func TestAutoRescaleSharedGrid(t *testing.T) {
+	r := New(2, 0) // auto mode
+	n0, n1 := r.Node(0), r.Node(1)
+	n0.RecordTriangle(0, 100, 0, 0)
+	n1.RecordTriangle(0, 50, 0, 0)
+
+	// Push node 0 far past the initial grid; the shared interval must grow
+	// and node 1's buckets must merge on the same grid.
+	long := autoInitialInterval * maxAutoBuckets * 4.0
+	n0.AdvanceIdle(long)
+	if r.Interval() <= autoInitialInterval {
+		t.Fatalf("interval did not grow: %v", r.Interval())
+	}
+	if got := float64(len(n0.buckets)) * r.Interval(); got < long {
+		t.Errorf("node 0 buckets cover %v cycles, want >= %v", got, long)
+	}
+	// Totals survive rescaling exactly.
+	var b1 float64
+	for _, b := range n1.buckets {
+		b1 += b[PhaseScan]
+	}
+	if !almost(b1, 50) {
+		t.Errorf("node 1 bucketed scan = %v after rescale, want 50", b1)
+	}
+}
+
+func TestBucketsSumToTotals(t *testing.T) {
+	r := New(1, 0)
+	n := r.Node(0)
+	// Irregular pattern with gaps and fractional cycles.
+	t0 := 0.0
+	for i := 0; i < 500; i++ {
+		t0 += 3.7
+		n.RecordTriangle(t0, 11.3, 2.1, 0.4)
+		t0 = n.cursor
+	}
+	var fromBuckets bucket
+	for _, b := range n.buckets {
+		for p := range fromBuckets {
+			fromBuckets[p] += b[p]
+		}
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if math.Abs(fromBuckets[p]-n.totals[p]) > 1e-6 {
+			t.Errorf("%s: buckets sum to %v, totals say %v", p, fromBuckets[p], n.totals[p])
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(1, 0)
+	n := r.Node(0)
+	n.AdvanceIdle(autoInitialInterval * maxAutoBuckets * 8)
+	r.Reset()
+	if r.Interval() != autoInitialInterval {
+		t.Errorf("interval after reset = %v", r.Interval())
+	}
+	if s := r.Summary()[0]; s.TotalCycles != 0 {
+		t.Errorf("summary after reset = %+v", s)
+	}
+}
+
+func TestTraceIsValidChromeJSON(t *testing.T) {
+	r := New(2, 50)
+	r.Node(0).RecordTriangle(0, 80, 20, 0)
+	r.Node(1).RecordTriangle(10, 30, 0, 5)
+	r.Node(0).AdvanceIdle(120)
+	r.Node(1).AdvanceIdle(120)
+
+	raw, err := r.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// The X slices on each thread must tile the run exactly: per-tid dur
+	// sums equal the node's total cycles.
+	durs := map[int]float64{}
+	var sawMeta, sawCounter bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			sawMeta = true
+		case "C":
+			sawCounter = true
+		case "X":
+			durs[e.Tid] += e.Dur
+			if !strings.Contains("setup scan stall idle", e.Name) {
+				t.Errorf("unknown phase slice %q", e.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if !sawMeta || !sawCounter {
+		t.Errorf("missing metadata (%v) or counter (%v) events", sawMeta, sawCounter)
+	}
+	for tid, d := range durs {
+		if !almost(d, 120) {
+			t.Errorf("tid %d slices cover %v cycles, want 120", tid, d)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 0) },
+		func() { New(2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad New call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

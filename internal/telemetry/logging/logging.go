@@ -1,0 +1,103 @@
+// Package logging configures the structured log/slog output of the texsim
+// services and threads per-request attributes through contexts: a handler
+// wrapper appends attributes (request ID, trace ID, job ID) stored in the
+// context by WithAttrs to every record logged through a *Context method, so
+// each log line of a request or job is correlated with its spans without
+// every call site repeating the IDs.
+package logging
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel parses a -log-level flag value (debug, info, warn, error,
+// case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (debug, info, warn or error)", s)
+	}
+}
+
+// New returns a logger writing to w at the given level. format is "json"
+// (the service default: one object per line, machine-ingestable) or "text"
+// (logfmt-style, for humans); anything else falls back to JSON. The logger
+// threads context attributes installed by WithAttrs into every record.
+func New(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "text" {
+		h = slog.NewTextHandler(w, opts)
+	} else {
+		h = slog.NewJSONHandler(w, opts)
+	}
+	return slog.New(contextHandler{h})
+}
+
+// Discard returns a logger that drops every record — the default for
+// libraries whose caller configured no logging.
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// attrsKey keys the attribute slice in a context.
+type attrsKey struct{}
+
+// WithAttrs returns a context carrying attrs; every record logged with that
+// context through a contextHandler-backed logger includes them. Repeated
+// calls accumulate.
+func WithAttrs(ctx context.Context, attrs ...slog.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
+	}
+	prev, _ := ctx.Value(attrsKey{}).([]slog.Attr)
+	// Copy-on-write: contexts are shared across goroutines.
+	merged := make([]slog.Attr, 0, len(prev)+len(attrs))
+	merged = append(merged, prev...)
+	merged = append(merged, attrs...)
+	return context.WithValue(ctx, attrsKey{}, merged)
+}
+
+// ContextAttrs returns the attributes installed by WithAttrs, if any.
+func ContextAttrs(ctx context.Context) []slog.Attr {
+	attrs, _ := ctx.Value(attrsKey{}).([]slog.Attr)
+	return attrs
+}
+
+// contextHandler appends context-carried attributes to every record.
+type contextHandler struct {
+	slog.Handler
+}
+
+func (h contextHandler) Handle(ctx context.Context, r slog.Record) error {
+	if attrs := ContextAttrs(ctx); len(attrs) > 0 {
+		r = r.Clone()
+		r.AddAttrs(attrs...)
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h contextHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return contextHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h contextHandler) WithGroup(name string) slog.Handler {
+	return contextHandler{h.Handler.WithGroup(name)}
+}

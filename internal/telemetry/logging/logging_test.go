@@ -1,0 +1,90 @@
+package logging
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "Error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestContextAttrsAppearInOutput(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, "json")
+
+	ctx := WithAttrs(context.Background(),
+		slog.String("request_id", "req-1"))
+	ctx = WithAttrs(ctx, slog.String("job_id", "job-7")) // accumulates
+
+	log.InfoContext(ctx, "working", "step", 2)
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON object: %v\n%s", err, buf.Bytes())
+	}
+	if rec["request_id"] != "req-1" || rec["job_id"] != "job-7" {
+		t.Errorf("context attrs missing: %v", rec)
+	}
+	if rec["msg"] != "working" || rec["step"] != 2.0 {
+		t.Errorf("record fields wrong: %v", rec)
+	}
+}
+
+func TestContextAttrsDoNotLeakAcrossContexts(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, "json")
+	_ = WithAttrs(context.Background(), slog.String("request_id", "req-1"))
+	log.InfoContext(context.Background(), "other")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, leaked := rec["request_id"]; leaked {
+		t.Errorf("attr leaked into unrelated context: %v", rec)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelWarn, "json")
+	log.Info("dropped")
+	log.Warn("kept")
+	if bytes.Contains(buf.Bytes(), []byte("dropped")) || !bytes.Contains(buf.Bytes(), []byte("kept")) {
+		t.Errorf("level filter broken:\n%s", buf.Bytes())
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, "text")
+	log.InfoContext(WithAttrs(context.Background(), slog.String("k", "v")), "hello")
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("msg=hello")) || !bytes.Contains(buf.Bytes(), []byte("k=v")) {
+		t.Errorf("text output = %q", out)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	log := Discard()
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+	log.Error("nothing happens") // must not panic
+	// Derived loggers stay discarding.
+	log.With("k", "v").WithGroup("g").Info("still nothing")
+}

@@ -1,0 +1,71 @@
+package tracing
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// TraceparentHeader is the W3C Trace Context carrier header.
+const TraceparentHeader = "traceparent"
+
+// statusWriter captures the response status for the server span.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Middleware wraps next so every request runs inside a server span: an
+// incoming traceparent header continues the caller's trace, the response
+// carries the new span's traceparent, and the span records method, path
+// and status. The request context carries the span for handlers to
+// annotate and for child spans to parent on.
+func Middleware(t *Tracer, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if tid, sid, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+			ctx = ContextWithRemoteParent(ctx, tid, sid)
+		}
+		ctx, span := t.StartSpan(ctx, r.Method+" "+r.URL.Path)
+		span.SetAttr("http.method", r.Method)
+		span.SetAttr("http.path", r.URL.Path)
+		w.Header().Set(TraceparentHeader, Traceparent(span.TraceID(), span.SpanID()))
+
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.SetAttr("http.status", strconv.Itoa(sw.code))
+		span.End()
+	})
+}
+
+// DebugHandler serves the span ring as JSON — mount at /debug/traces.
+// Query parameters: trace=<hex trace id> filters to one trace, limit=<n>
+// bounds the span count (default 100).
+func (t *Tracer) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 100
+		if s := r.URL.Query().Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		spans := t.Snapshot(limit, r.URL.Query().Get("trace"))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// Nothing useful to do with a write error mid-response.
+		enc.Encode(map[string]any{
+			"total_finished": t.Count(),
+			"returned":       len(spans),
+			"spans":          spans,
+		})
+	})
+}

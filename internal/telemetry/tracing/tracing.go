@@ -1,0 +1,270 @@
+// Package tracing is span-based request tracing for the texsimd service:
+// W3C traceparent propagation, an in-memory ring buffer of finished spans,
+// and HTTP middleware. It is deliberately tiny — enough to follow one
+// request from its HTTP arrival through the job queue into the simulation
+// and correlate it with logs and metrics, without pulling an OpenTelemetry
+// SDK into a stdlib-only repository.
+//
+// Identifiers follow the W3C Trace Context model: a 16-byte trace ID shared
+// by every span of one request tree, an 8-byte span ID per operation, and a
+// `traceparent` header (version 00) carrying both across process
+// boundaries. Spans end into a fixed-capacity ring, served as JSON by
+// DebugHandler at /debug/traces.
+package tracing
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one request tree across services.
+type TraceID [16]byte
+
+// SpanID identifies one operation within a trace.
+type SpanID [8]byte
+
+// String returns the lowercase-hex form used in headers and logs.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the lowercase-hex form used in headers and logs.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// Traceparent renders a version-00 W3C traceparent header value with the
+// sampled flag set.
+func Traceparent(t TraceID, s SpanID) string {
+	return fmt.Sprintf("00-%s-%s-01", t, s)
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts any
+// version, requires the 00 layout, and rejects all-zero IDs, per the spec.
+func ParseTraceparent(h string) (TraceID, SpanID, bool) {
+	var t TraceID
+	var s SpanID
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, false
+	}
+	if h[0] == 'f' && h[1] == 'f' { // version 0xff is forbidden
+		return t, s, false
+	}
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return t, s, false
+	}
+	if _, err := hex.Decode(s[:], []byte(h[36:52])); err != nil {
+		return t, s, false
+	}
+	if t.IsZero() || s.IsZero() {
+		return t, s, false
+	}
+	return t, s, true
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one in-flight operation. Create with Tracer.StartSpan, annotate
+// with SetAttr/SetError from the owning goroutine, and End exactly once to
+// publish it to the tracer's ring.
+type Span struct {
+	tracer  *Tracer
+	name    string
+	traceID TraceID
+	spanID  SpanID
+	parent  SpanID
+	start   time.Time
+	attrs   []Attr
+	errMsg  string
+	ended   bool
+}
+
+// TraceID returns the span's trace identifier.
+func (s *Span) TraceID() TraceID { return s.traceID }
+
+// SpanID returns the span's own identifier.
+func (s *Span) SpanID() SpanID { return s.spanID }
+
+// SetAttr appends a key/value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetError records a non-nil error on the span.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// End finishes the span and publishes it to the tracer's ring buffer.
+// A second End is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.tracer.publish(s, time.Now())
+}
+
+// SpanView is the wire shape of a finished span, as /debug/traces serves it.
+type SpanView struct {
+	TraceID    string  `json:"trace_id"`
+	SpanID     string  `json:"span_id"`
+	ParentID   string  `json:"parent_id,omitempty"`
+	Name       string  `json:"name"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// Tracer creates spans and retains the most recent finished ones in a ring
+// buffer. The zero value is not usable; construct with NewTracer.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []SpanView // capacity-bounded, next is the write cursor
+	next  int
+	total uint64
+}
+
+// DefaultCapacity is the span ring size when NewTracer gets 0.
+const DefaultCapacity = 1024
+
+// NewTracer returns a tracer retaining the last capacity finished spans
+// (0 = DefaultCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{ring: make([]SpanView, 0, capacity)}
+}
+
+// ctxKey keys the current span in a context.
+type ctxKey struct{}
+
+// remoteParent carries trace context extracted from a carrier (header or
+// stored job record) without a live local span.
+type remoteParent struct {
+	traceID TraceID
+	spanID  SpanID
+}
+
+type remoteKey struct{}
+
+// ContextWithRemoteParent returns a context carrying an extracted remote
+// trace context; the next StartSpan continues that trace.
+func ContextWithRemoteParent(ctx context.Context, t TraceID, s SpanID) context.Context {
+	return context.WithValue(ctx, remoteKey{}, remoteParent{traceID: t, spanID: s})
+}
+
+// FromContext returns the current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a span named name. Its parent is the context's current
+// span if any, else a remote parent installed by ContextWithRemoteParent,
+// else it roots a new trace. The returned context carries the new span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	if parent := FromContext(ctx); parent != nil {
+		s.traceID = parent.traceID
+		s.parent = parent.spanID
+	} else if rp, ok := ctx.Value(remoteKey{}).(remoteParent); ok {
+		s.traceID = rp.traceID
+		s.parent = rp.spanID
+	} else {
+		readRandom(s.traceID[:])
+	}
+	readRandom(s.spanID[:])
+	return context.WithValue(ctx, ctxKey{}, s), s
+}
+
+// readRandom fills b from crypto/rand; ID generation must never fail, so a
+// broken entropy source panics rather than minting colliding zero IDs.
+func readRandom(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("tracing: reading random IDs: %v", err))
+	}
+}
+
+// publish appends the finished span to the ring, overwriting the oldest
+// entry once full.
+func (t *Tracer) publish(s *Span, end time.Time) {
+	v := SpanView{
+		TraceID:    s.traceID.String(),
+		SpanID:     s.spanID.String(),
+		Name:       s.name,
+		Start:      s.start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(end.Sub(s.start)) / float64(time.Millisecond),
+		Attrs:      s.attrs,
+		Error:      s.errMsg,
+	}
+	if !s.parent.IsZero() {
+		v.ParentID = s.parent.String()
+	}
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, v)
+	} else {
+		t.ring[t.next] = v
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns up to limit finished spans, newest first (limit <= 0
+// returns everything retained). The optional traceID filter (hex) keeps
+// only spans of that trace.
+func (t *Tracer) Snapshot(limit int, traceID string) []SpanView {
+	t.mu.Lock()
+	n := len(t.ring)
+	ordered := make([]SpanView, 0, n)
+	// Oldest entry is at the write cursor once the ring has wrapped.
+	start := 0
+	if n == cap(t.ring) {
+		start = t.next
+	}
+	for i := 0; i < n; i++ {
+		ordered = append(ordered, t.ring[(start+i)%n])
+	}
+	t.mu.Unlock()
+
+	// Newest first.
+	out := make([]SpanView, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		v := ordered[i]
+		if traceID != "" && v.TraceID != traceID {
+			continue
+		}
+		out = append(out, v)
+		if limit > 0 && len(out) == limit {
+			break
+		}
+	}
+	return out
+}
+
+// Count returns the total number of spans ever finished into the tracer.
+func (t *Tracer) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

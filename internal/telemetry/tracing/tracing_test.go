@@ -1,0 +1,184 @@
+package tracing
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const (
+	testTraceHex = "4bf92f3577b34da6a3ce929d0e0e4736"
+	testSpanHex  = "00f067aa0ba902b7"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	h := fmt.Sprintf("00-%s-%s-01", testTraceHex, testSpanHex)
+	tid, sid, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected", h)
+	}
+	if tid.String() != testTraceHex || sid.String() != testSpanHex {
+		t.Errorf("parsed %s/%s", tid, sid)
+	}
+	if got := Traceparent(tid, sid); got != h {
+		t.Errorf("Traceparent = %q, want %q", got, h)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short-short-01",
+		"ff-" + testTraceHex + "-" + testSpanHex + "-01",             // forbidden version
+		"00-00000000000000000000000000000000-" + testSpanHex + "-01", // zero trace
+		"00-" + testTraceHex + "-0000000000000000-01",                // zero span
+		"00_" + testTraceHex + "-" + testSpanHex + "-01",             // bad separator
+		"00-" + strings.Repeat("g", 32) + "-" + testSpanHex + "-01",  // non-hex
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+}
+
+func TestSpanParenting(t *testing.T) {
+	tr := NewTracer(16)
+
+	// Root span mints a fresh trace.
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	if root.TraceID().IsZero() || root.SpanID().IsZero() {
+		t.Fatal("root span has zero IDs")
+	}
+	// Child inherits the trace and points at the root.
+	_, child := tr.StartSpan(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Error("child has a different trace ID")
+	}
+	child.End()
+	root.End()
+
+	// Remote parent continues an extracted trace.
+	tid, sid, _ := ParseTraceparent(fmt.Sprintf("00-%s-%s-01", testTraceHex, testSpanHex))
+	rctx := ContextWithRemoteParent(context.Background(), tid, sid)
+	_, remote := tr.StartSpan(rctx, "continued")
+	if remote.TraceID() != tid {
+		t.Error("remote child did not adopt the carrier trace ID")
+	}
+	remote.End()
+
+	views := tr.Snapshot(0, "")
+	if len(views) != 3 {
+		t.Fatalf("snapshot holds %d spans, want 3", len(views))
+	}
+	// Newest first: continued, root, child.
+	if views[0].Name != "continued" || views[0].ParentID != testSpanHex {
+		t.Errorf("newest span = %+v", views[0])
+	}
+	byName := map[string]SpanView{}
+	for _, v := range views {
+		byName[v.Name] = v
+	}
+	if byName["child"].ParentID != byName["root"].SpanID {
+		t.Error("child's parent_id is not root's span_id")
+	}
+	if byName["root"].ParentID != "" {
+		t.Error("root span has a parent")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartSpan(context.Background(), fmt.Sprintf("span-%d", i))
+		s.End()
+	}
+	if tr.Count() != 10 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+	views := tr.Snapshot(0, "")
+	if len(views) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(views))
+	}
+	if views[0].Name != "span-9" || views[3].Name != "span-6" {
+		t.Errorf("ring contents: %s..%s", views[0].Name, views[3].Name)
+	}
+	if limited := tr.Snapshot(2, ""); len(limited) != 2 || limited[0].Name != "span-9" {
+		t.Errorf("limited snapshot = %+v", limited)
+	}
+}
+
+func TestSnapshotTraceFilter(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, a := tr.StartSpan(context.Background(), "a")
+	_, a2 := tr.StartSpan(ctx, "a-child")
+	_, b := tr.StartSpan(context.Background(), "b")
+	a2.End()
+	a.End()
+	b.End()
+	got := tr.Snapshot(0, a.TraceID().String())
+	if len(got) != 2 {
+		t.Fatalf("filter returned %d spans, want 2", len(got))
+	}
+	for _, v := range got {
+		if v.TraceID != a.TraceID().String() {
+			t.Errorf("foreign span in filtered snapshot: %+v", v)
+		}
+	}
+}
+
+func TestMiddlewareAndDebugHandler(t *testing.T) {
+	tr := NewTracer(16)
+	var innerTrace string
+	h := Middleware(tr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s := FromContext(r.Context()); s != nil {
+			innerTrace = s.TraceID().String()
+		}
+		w.WriteHeader(http.StatusTeapot)
+	}))
+
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(TraceparentHeader, fmt.Sprintf("00-%s-%s-01", testTraceHex, testSpanHex))
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+
+	if innerTrace != testTraceHex {
+		t.Errorf("handler saw trace %q, want %q", innerTrace, testTraceHex)
+	}
+	if got := rw.Header().Get(TraceparentHeader); !strings.HasPrefix(got, "00-"+testTraceHex+"-") {
+		t.Errorf("response traceparent = %q", got)
+	}
+
+	// The finished server span is in the debug view with the status attr.
+	drw := httptest.NewRecorder()
+	tr.DebugHandler().ServeHTTP(drw, httptest.NewRequest("GET", "/debug/traces?trace="+testTraceHex, nil))
+	var body struct {
+		Spans []SpanView `json:"spans"`
+	}
+	if err := json.NewDecoder(drw.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Spans) != 1 || body.Spans[0].Name != "GET /x" {
+		t.Fatalf("debug spans = %+v", body.Spans)
+	}
+	var status string
+	for _, a := range body.Spans[0].Attrs {
+		if a.Key == "http.status" {
+			status = a.Value
+		}
+	}
+	if status != "418" {
+		t.Errorf("http.status attr = %q", status)
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetError(fmt.Errorf("x"))
+	s.End() // must not panic
+}
