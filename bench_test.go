@@ -92,10 +92,13 @@ func BenchmarkExtOverlap(b *testing.B) { benchExperiment(b, experiments.RunExtOv
 // BenchmarkExtInterleave regenerates the interleave-pattern ablation.
 func BenchmarkExtInterleave(b *testing.B) { benchExperiment(b, experiments.RunExtInterleave) }
 
-// BenchmarkMachineThroughput measures the simulator's core speed: simulated
+// benchMachineThroughput measures the simulator's core speed — simulated
 // fragments per wall-clock second on one representative configuration
-// (16 processors, block-16, 16 KB caches, ratio-1 bus, truc640).
-func BenchmarkMachineThroughput(b *testing.B) {
+// (16 processors, block-16, 16 KB caches, ratio-1 bus, truc640) — with the
+// node kernel's worker bound fixed at nodePar (1 = event-driven kernel,
+// 0 = GOMAXPROCS workers). Both kernels produce byte-identical results, so
+// the pair measures pure wall-clock speedup.
+func benchMachineThroughput(b *testing.B, nodePar int) {
 	bm, err := scene.ByName("truc640", 0.5)
 	if err != nil {
 		b.Fatal(err)
@@ -108,6 +111,7 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	m.SetNodeParallelism(nodePar)
 	b.ResetTimer()
 	var frags uint64
 	for i := 0; i < b.N; i++ {
@@ -116,6 +120,14 @@ func BenchmarkMachineThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(frags)/b.Elapsed().Seconds(), "frags/s")
 }
+
+// BenchmarkMachineThroughput is the shipping default: the parallel node
+// kernel with a GOMAXPROCS worker bound.
+func BenchmarkMachineThroughput(b *testing.B) { benchMachineThroughput(b, 0) }
+
+// BenchmarkMachineThroughputSerial forces the event-driven kernel — the
+// before side of the parallel-kernel speedup, and the seed baseline.
+func BenchmarkMachineThroughputSerial(b *testing.B) { benchMachineThroughput(b, 1) }
 
 // benchEngineFlight runs the BenchmarkMachineThroughput configuration with
 // the flight recorder optionally attached. BenchmarkEngineFlightOff is the

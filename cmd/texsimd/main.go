@@ -53,6 +53,7 @@ func main() {
 		queue        = flag.Int("queue", 64, "job queue depth (full queue returns 429)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job timeout (0 = unlimited)")
 		parallelism  = flag.Int("job-par", 1, "concurrent simulations inside one job")
+		nodePar      = flag.Int("node-par", 0, "worker bound for each simulation's parallel node kernel (0 = share the -job-par budget, 1 = force the event-driven kernel)")
 		cacheEntries = flag.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result cache entries")
 		cacheDir     = flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
 		noCache      = flag.Bool("no-cache", false, "disable the result cache (every job re-simulates)")
@@ -64,6 +65,25 @@ func main() {
 		spanCap      = flag.Int("trace-spans", 0, "finished spans retained for /debug/traces (0 = default)")
 	)
 	flag.Parse()
+
+	if *workers < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-workers %d must be non-negative", *workers))
+	}
+	if *queue < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-queue %d must be non-negative", *queue))
+	}
+	if *parallelism < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-job-par %d must be non-negative", *parallelism))
+	}
+	if *nodePar < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-node-par %d must be non-negative", *nodePar))
+	}
+	if *cacheEntries < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-cache-entries %d must be non-negative", *cacheEntries))
+	}
+	if *drainTimeout < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-drain-timeout %v must be non-negative", *drainTimeout))
+	}
 
 	level, err := logging.ParseLevel(*logLevel)
 	cliutil.Check("texsimd", err)
@@ -81,14 +101,15 @@ func main() {
 	// The service gets its own root context rather than the signal context:
 	// SIGTERM must stop intake and drain, not cancel running jobs.
 	srv, err := service.New(context.Background(), service.Config{
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		JobTimeout:  *jobTimeout,
-		Parallelism: *parallelism,
-		Cache:       cache,
-		OutDir:      *outDir,
-		Logger:      logger,
-		Tracer:      tracer,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		Parallelism:     *parallelism,
+		NodeParallelism: *nodePar,
+		Cache:           cache,
+		OutDir:          *outDir,
+		Logger:          logger,
+		Tracer:          tracer,
 	})
 	cliutil.Check("texsimd", err)
 

@@ -37,6 +37,7 @@ func main() {
 		cacheKind = flag.String("cache", "real", "cache model: real, perfect or none")
 		buffer    = flag.Int("buffer", 0, "triangle buffer entries (0 = paper default)")
 		par       = flag.Int("par", 1, "concurrent simulations")
+		nodePar   = flag.Int("node-par", 0, "worker bound for each simulation's parallel node kernel (0 = share -par budget, 1 = force the event-driven kernel)")
 		asJSON    = flag.Bool("json", false, "emit the full JSON document instead of CSV")
 		outPath   = flag.String("o", "", "output file (default stdout)")
 		flightDir = flag.String("flight", "", "record per-node phase timelines and write one Chrome trace-event JSON file per configuration into this directory (load in Perfetto)")
@@ -44,14 +45,27 @@ func main() {
 	)
 	flag.Parse()
 
-	procs, err := cliutil.ParseIntList(*procsList)
+	procs, err := cliutil.ParsePositiveIntList(*procsList)
 	if err != nil {
 		cliutil.Fail("texsweep", fmt.Errorf("-procs: %w", err))
 	}
-	sizes, err := cliutil.ParseIntList(*sizesList)
+	sizes, err := cliutil.ParsePositiveIntList(*sizesList)
 	if err != nil {
 		cliutil.Fail("texsweep", fmt.Errorf("-sizes: %w", err))
 	}
+	if *par < 0 {
+		cliutil.Usage("texsweep", fmt.Sprintf("-par %d must be non-negative", *par))
+	}
+	if *nodePar < 0 {
+		cliutil.Usage("texsweep", fmt.Sprintf("-node-par %d must be non-negative", *nodePar))
+	}
+	// 0 is the auto default, so explicitly asking for <= 0 is always a
+	// mistake (a typo'd unit, usually) rather than a request for auto.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "flight-interval" && *flightInt <= 0 {
+			cliutil.Usage("texsweep", fmt.Sprintf("-flight-interval %v must be positive", *flightInt))
+		}
+	})
 
 	spec := sweep.Spec{
 		Scene:  *sceneName,
@@ -73,7 +87,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := sweep.Run(ctx, spec, *par)
+	res, err := sweep.RunWith(ctx, spec, sweep.RunOpts{
+		Parallelism:     *par,
+		NodeParallelism: *nodePar,
+	})
 	cliutil.Check("texsweep", err)
 
 	if *flightDir != "" {

@@ -31,6 +31,22 @@ func ParseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParsePositiveIntList is ParseIntList restricted to positive values — the
+// form every sweep axis (processor counts, tile sizes) actually requires.
+// Zero and negative elements are rejected with the offending value named.
+func ParsePositiveIntList(s string) ([]int, error) {
+	out, err := ParseIntList(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range out {
+		if v <= 0 {
+			return nil, fmt.Errorf("list element %d must be positive", v)
+		}
+	}
+	return out, nil
+}
+
 // Fail prints "tool: err" to stderr and exits with status 1.
 func Fail(tool string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)

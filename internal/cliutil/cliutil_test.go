@@ -31,3 +31,15 @@ func TestParseIntList(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePositiveIntList(t *testing.T) {
+	got, err := ParsePositiveIntList("1, 4,16")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 16 {
+		t.Errorf("ParsePositiveIntList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", " , ", "1,x", "1,0,4", "1,-4"} {
+		if _, err := ParsePositiveIntList(bad); err == nil {
+			t.Errorf("ParsePositiveIntList(%q) accepted", bad)
+		}
+	}
+}

@@ -264,6 +264,12 @@ type Machine struct {
 	lastFIFOPeaks []int
 	// flight, when non-nil, records every node's per-phase cycle timeline.
 	flight *flight.Recorder
+	// nodePar bounds the parallel kernel's workers (see SetNodeParallelism);
+	// 0 means runtime.GOMAXPROCS(0), 1 forces the event-driven kernel.
+	nodePar int
+	// parallelFrames counts frames simulated by the parallel kernel, so
+	// tests can assert which kernel actually ran.
+	parallelFrames int
 }
 
 // NewMachine builds a machine for the scene. The scene's texture table is
@@ -421,10 +427,24 @@ func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene)
 // time, rare enough to stay invisible in profiles.
 const cancelCheckEvents = 1 << 14
 
-// runFrame drives the event simulation of one frame's triangle stream. A
-// cancelled context abandons the frame mid-flight and leaves the machine in
-// an undefined (but safely reusable-after-Reset) state.
+// runFrame simulates one frame's triangle stream, dispatching to the
+// parallel kernel (parallel.go) when the triangle FIFOs provably never
+// back-pressure, and to the coupled event-driven kernel otherwise. Both
+// kernels produce byte-identical results; the event kernel is the reference.
 func (m *Machine) runFrame(ctx context.Context, f *trace.Scene) error {
+	if m.parallelEligible() {
+		ran, err := m.runFrameParallel(ctx, f)
+		if ran || err != nil {
+			return err
+		}
+	}
+	return m.runFrameEvents(ctx, f)
+}
+
+// runFrameEvents drives the event simulation of one frame's triangle stream.
+// A cancelled context abandons the frame mid-flight and leaves the machine in
+// an undefined (but safely reusable-after-Reset) state.
+func (m *Machine) runFrameEvents(ctx context.Context, f *trace.Scene) error {
 	s := sim.New()
 	d := newDistributor(s, m, f)
 	nodes := make([]*nodeProc, m.cfg.Procs)

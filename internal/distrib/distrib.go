@@ -217,7 +217,27 @@ func checkArgs(screen geom.Rect, procs int) error {
 
 // routeByTiles enumerates the tile rectangle, deduplicating owners. Used for
 // small routings only; the all-processors fast path handles big triangles.
+// For the common machine sizes (≤ 64 processors) the dedup set is a stack
+// bitmask, keeping triangle routing allocation-free on the hot path.
 func routeByTiles(dst []int, procs, tx0, tx1, ty0, ty1 int, owner func(tx, ty int) int) []int {
+	if procs <= 64 {
+		var seen uint64
+		n := 0
+		for ty := ty0; ty <= ty1; ty++ {
+			for tx := tx0; tx <= tx1; tx++ {
+				p := owner(tx, ty)
+				if seen&(1<<uint(p)) == 0 {
+					seen |= 1 << uint(p)
+					dst = append(dst, p)
+					n++
+					if n == procs {
+						return dst
+					}
+				}
+			}
+		}
+		return dst
+	}
 	seen := make(map[int]bool, 8)
 	for ty := ty0; ty <= ty1; ty++ {
 		for tx := tx0; tx <= tx1; tx++ {

@@ -284,3 +284,20 @@ func BenchmarkRoute(b *testing.B) {
 		dst = d.Route(bb, dst[:0])
 	}
 }
+
+func TestRouteReuseAllocFree(t *testing.T) {
+	// Triangle routing with a reused destination slice must not allocate for
+	// machine sizes up to 64 processors (the stack-bitmask dedup path).
+	b, _ := NewBlock(screen, 8, 16)
+	bs, _ := NewBlockSkewed(screen, 8, 16)
+	s, _ := NewSLI(screen, 8, 4)
+	for _, d := range []Distribution{b, bs, s} {
+		bb := geom.Rect{X0: 10, Y0: 10, X1: 50, Y1: 40}
+		dst := d.Route(bb, nil)
+		if n := testing.AllocsPerRun(100, func() {
+			dst = d.Route(bb, dst[:0])
+		}); n != 0 {
+			t.Errorf("%s: Route with a warm slice allocates %.1f per call", d.Name(), n)
+		}
+	}
+}

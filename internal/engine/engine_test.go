@@ -211,3 +211,16 @@ func BenchmarkProcessTriangle(b *testing.B) {
 	}
 	b.ReportMetric(float64(e.Stats().Fragments)/b.Elapsed().Seconds(), "frags/s")
 }
+
+func TestProcessTriangleAllocFree(t *testing.T) {
+	// The per-triangle fast path must not allocate: the texel-footprint
+	// scratch lives on the engine and spans are caller-owned.
+	e, tex := newTestEngine(cache.New(cache.Config{SizeBytes: 16 * 1024, Ways: 4, LineBytes: 64}), memory.BusConfig{TexelsPerCycle: 2})
+	w := identityWork(tex, raster.Span{Y: 0, X0: 0, X1: 64}, raster.Span{Y: 1, X0: 0, X1: 64})
+	arrival := 0.0
+	if n := testing.AllocsPerRun(100, func() {
+		arrival = e.ProcessTriangle(arrival, w)
+	}); n != 0 {
+		t.Errorf("ProcessTriangle allocates %.1f per call", n)
+	}
+}

@@ -142,6 +142,18 @@ func (r *Rasterizer) ForEachSpan(t geom.Triangle, clip geom.Rect, fn func(Span))
 	}
 }
 
+// AppendSpans appends every covered span of t inside clip to dst and returns
+// the extended slice, in the same scan order as ForEachSpan. Passing a
+// buffer truncated to zero length (dst[:0]) makes repeated rasterization
+// allocation-free once the buffer has grown to the working-set size — the
+// reusable span buffer of the simulator's per-triangle hot path.
+func (r *Rasterizer) AppendSpans(t geom.Triangle, clip geom.Rect, dst []Span) []Span {
+	r.ForEachSpan(t, clip, func(s Span) {
+		dst = append(dst, s)
+	})
+	return dst
+}
+
 // PixelCount returns the number of pixels of t covered inside clip.
 func (r *Rasterizer) PixelCount(t geom.Triangle, clip geom.Rect) int {
 	n := 0

@@ -266,3 +266,33 @@ func BenchmarkRasterizeLargeTriangle(b *testing.B) {
 		}
 	}
 }
+
+func TestAppendSpansMatchesForEachSpan(t *testing.T) {
+	r := New(screen)
+	tri := geom.Triangle{V: [3]geom.Vec2{{X: 3.2, Y: 1.1}, {X: 60.7, Y: 20.4}, {X: 12.5, Y: 55.9}}}
+	var want []Span
+	r.ForEachSpan(tri, screen, func(s Span) { want = append(want, s) })
+	got := r.AppendSpans(tri, screen, nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendSpans returned %d spans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span %d: %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendSpansReuseAllocFree(t *testing.T) {
+	// Rasterizing into a reused buffer must stop allocating once the buffer
+	// has grown to the working-set size — the simulator's per-triangle hot
+	// path depends on it.
+	r := New(screen)
+	tri := geom.Triangle{V: [3]geom.Vec2{{X: 1, Y: 1}, {X: 62, Y: 3}, {X: 30, Y: 60}}}
+	buf := r.AppendSpans(tri, screen, nil)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = r.AppendSpans(tri, screen, buf[:0])
+	}); n != 0 {
+		t.Errorf("AppendSpans with a warm buffer allocates %.1f per call", n)
+	}
+}

@@ -121,11 +121,21 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 
 	if c.dir != "" {
 		if val, err := os.ReadFile(c.path(key)); err == nil {
-			c.mu.Lock()
-			c.stats.Hits++
-			c.insertLocked(key, val)
-			c.mu.Unlock()
-			return val, true
+			// Entries are JSON documents written atomically, so anything
+			// else — truncated, scribbled, or empty — is disk corruption,
+			// not a result. Serving it would poison every future hit (the
+			// insert would promote it to the memory tier); treat it as a
+			// miss and delete the file so the re-simulated result can be
+			// written back cleanly.
+			if !json.Valid(val) {
+				os.Remove(c.path(key))
+			} else {
+				c.mu.Lock()
+				c.stats.Hits++
+				c.insertLocked(key, val)
+				c.mu.Unlock()
+				return val, true
+			}
 		}
 	}
 

@@ -2,6 +2,7 @@ package resultcache
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -163,4 +164,82 @@ func TestConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func TestDiskCorruptionCountsAsMiss(t *testing.T) {
+	// A corrupted on-disk entry — truncated write, bit rot, an operator's
+	// stray edit — must never be served as a hit or surface as an error:
+	// the cache treats it as a miss and deletes the file so the slot heals
+	// on the next Put.
+	for _, scribble := range map[string][]byte{
+		"truncated": []byte(`{"rows":[{"cycles":12`),
+		"garbage":   []byte("\x00\xffnot json at all"),
+		"empty":     nil,
+	} {
+		dir := t.TempDir()
+		c, err := New(Config{MaxEntries: 4, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put("k1", []byte(`{"rows":[]}`)); err != nil {
+			t.Fatal(err)
+		}
+
+		// Scribble over the entry and evict it from memory by restarting.
+		if err := os.WriteFile(filepath.Join(dir, "k1.json"), scribble, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := New(Config{MaxEntries: 4, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val, ok := c2.Get("k1"); ok {
+			t.Fatalf("corrupt entry served as hit: %q", val)
+		}
+		if s := c2.Stats(); s.Misses != 1 || s.Hits != 0 {
+			t.Errorf("stats after corrupt read = %+v, want 1 miss", s)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "k1.json")); !os.IsNotExist(err) {
+			t.Error("corrupt entry file not deleted")
+		}
+
+		// The slot works again after the next Put.
+		if err := c2.Put("k1", []byte(`{"rows":[1]}`)); err != nil {
+			t.Fatal(err)
+		}
+		c3, err := New(Config{MaxEntries: 4, Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if val, ok := c3.Get("k1"); !ok || string(val) != `{"rows":[1]}` {
+			t.Errorf("healed entry = %q, %v", val, ok)
+		}
+	}
+}
+
+func TestDiskUnreadableEntryCountsAsMiss(t *testing.T) {
+	// An entry file that cannot be read at all behaves like a miss too.
+	dir := t.TempDir()
+	c, err := New(Config{MaxEntries: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k1", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace the entry with a directory: ReadFile fails with a non-IsNotExist error.
+	path := filepath.Join(dir, "k1.json")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(Config{MaxEntries: 4, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get("k1"); ok {
+		t.Error("unreadable entry served as hit")
+	}
 }

@@ -127,7 +127,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
-			if se.code == http.StatusTooManyRequests {
+			if se.code == http.StatusTooManyRequests ||
+				se.code == http.StatusServiceUnavailable {
 				// Back-pressure: tell well-behaved clients when to retry.
 				w.Header().Set("Retry-After", "1")
 			}

@@ -41,6 +41,10 @@ type Config struct {
 	// Parallelism bounds concurrent simulations inside one job (0 = 1:
 	// cross-job parallelism comes from the worker pool).
 	Parallelism int
+	// NodeParallelism bounds each simulation's parallel node kernel
+	// (0 = share the job's Parallelism budget, 1 = force the event-driven
+	// kernel; see sweep.RunOpts). Results are identical at every setting.
+	NodeParallelism int
 	// Cache, when nil, is replaced by an in-memory cache with default
 	// capacity.
 	Cache *resultcache.Cache
@@ -490,7 +494,10 @@ func (s *Server) execute(ctx context.Context, req *Request) ([]byte, error) {
 	}
 	switch req.Type {
 	case "sweep":
-		res, err := sweep.Run(ctx, *req.Sweep, s.cfg.Parallelism)
+		res, err := sweep.RunWith(ctx, *req.Sweep, sweep.RunOpts{
+			Parallelism:     s.cfg.Parallelism,
+			NodeParallelism: s.cfg.NodeParallelism,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -528,3 +528,121 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 	}
 	t.Fatalf("timed out waiting for %s", what)
 }
+
+// postJobRaw submits a job and returns the full HTTP response for header
+// and body inspection; the caller owns closing the body.
+func postJobRaw(t *testing.T, ts *httptest.Server, req *Request) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestBackpressureResponseShape pins the contract of a 429: well-behaved
+// clients need a Retry-After header to pace retries and a JSON error body
+// to report — a bare status line is not enough.
+func TestBackpressureResponseShape(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		runOverride: func(ctx context.Context, req *Request) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return []byte(`{}`), nil
+		},
+	})
+
+	// One job occupies the worker, one fills the queue.
+	for i := 0; i < 2; i++ {
+		req := tinySweep()
+		req.Sweep.Procs = []int{1, 2 + i}
+		v, code := postJob(t, ts, req)
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d returned %d", i, code)
+		}
+		if i == 0 {
+			waitStatus(t, ts, v.ID, StatusRunning)
+		}
+	}
+
+	req := tinySweep()
+	req.Sweep.Procs = []int{64}
+	resp := postJobRaw(t, ts, req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit returned %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("429 body is not JSON: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("429 body has no error message")
+	}
+}
+
+// TestDrainingResponseShape: a 503 while draining carries the same
+// retry metadata as a 429 — the client's recovery is identical.
+func TestDrainingResponseShape(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 4,
+		runOverride: func(ctx context.Context, req *Request) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return []byte(`{}`), nil
+		},
+	})
+	if _, code := postJob(t, ts, tinySweep()); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Drain(context.Background()) }()
+
+	var resp *http.Response
+	waitFor(t, func() bool {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		resp = postJobRaw(t, ts, tinySweep())
+		return resp.StatusCode == http.StatusServiceUnavailable
+	}, "503 while draining")
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("503 body is not JSON: %v", err)
+	}
+	if body.Error == "" {
+		t.Error("503 body has no error message")
+	}
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -176,10 +176,58 @@ type Result struct {
 	SimulatedCycles float64 `json:"simulated_cycles"`
 }
 
+// RunOpts tunes how a sweep executes without changing what it computes:
+// rows are byte-identical at every setting, so none of these fields
+// participate in Spec's result-cache identity.
+type RunOpts struct {
+	// Parallelism bounds how many configurations simulate concurrently
+	// (<=0 = sequential). It is also the sweep's total worker budget.
+	Parallelism int
+	// NodeParallelism bounds each simulation's parallel node kernel (see
+	// core.Machine.SetNodeParallelism): 1 forces the event-driven kernel,
+	// 0 shares the worker budget — when fewer configurations than budget
+	// run concurrently, the spare workers go to each machine's node kernel
+	// (budget / concurrent configurations, at least 1). A sweep of many
+	// configurations therefore parallelizes across configurations; a sweep
+	// of one big configuration parallelizes across its nodes.
+	NodeParallelism int
+}
+
+// nodeParallelism resolves the per-machine worker bound for a sweep of
+// nJobs configurations under the shared-budget rule documented on RunOpts.
+func (o RunOpts) nodeParallelism(nJobs int) int {
+	if o.NodeParallelism != 0 {
+		return o.NodeParallelism
+	}
+	budget := o.Parallelism
+	if budget <= 1 {
+		// Sequential sweep: the whole budget concept is moot; let each
+		// machine use its own default (GOMAXPROCS).
+		return 0
+	}
+	configPar := budget
+	if nJobs < configPar {
+		configPar = nJobs
+	}
+	if configPar < 1 {
+		configPar = 1
+	}
+	nodePar := budget / configPar
+	if nodePar < 1 {
+		nodePar = 1
+	}
+	return nodePar
+}
+
 // Run executes the sweep on up to parallelism concurrent simulations
 // (<=0 = sequential). Row order is independent of parallelism; cancelling
 // ctx abandons unstarted configurations and returns ctx.Err().
 func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
+	return RunWith(ctx, spec, RunOpts{Parallelism: parallelism})
+}
+
+// RunWith is Run with explicit execution options.
+func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -207,14 +255,6 @@ func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
 		}
 	}
 
-	// One-processor baseline for the speedup column; with one processor
-	// every tile maps to node 0, so the tile size is irrelevant and one
-	// baseline serves all rows.
-	baseRes, err := core.SimulateContext(ctx, sc, mkConfig(1, spec.Sizes[0]))
-	if err != nil {
-		return nil, err
-	}
-
 	type job struct{ procs, size int }
 	var jobs []job
 	for _, p := range spec.Procs {
@@ -222,17 +262,35 @@ func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
 			jobs = append(jobs, job{p, w})
 		}
 	}
+	nodePar := opts.nodeParallelism(len(jobs))
+
+	// One-processor baseline for the speedup column; with one processor
+	// every tile maps to node 0, so the tile size is irrelevant and one
+	// baseline serves all rows. Nothing else runs yet, so the baseline may
+	// use the whole worker budget.
+	baseM, err := core.NewMachine(sc, mkConfig(1, spec.Sizes[0]))
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallelism > 1 {
+		baseM.SetNodeParallelism(opts.Parallelism)
+	}
+	baseRes, err := baseM.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Row, len(jobs))
 	var flights []Flight
 	if spec.Flight {
 		flights = make([]Flight, len(jobs))
 	}
-	err = par.ForEach(ctx, parallelism, len(jobs), func(i int) error {
+	err = par.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
 		cfg := mkConfig(jobs[i].procs, jobs[i].size)
 		m, err := core.NewMachine(sc, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name(), err)
 		}
+		m.SetNodeParallelism(nodePar)
 		var rec *flight.Recorder
 		if spec.Flight {
 			rec = m.EnableFlightRecorder(spec.FlightInterval)

@@ -130,3 +130,44 @@ func TestWriteJSONRoundTrip(t *testing.T) {
 		t.Errorf("spec not embedded: %+v", back.Spec)
 	}
 }
+
+func TestRunOptsNodeParallelism(t *testing.T) {
+	cases := []struct {
+		opts  RunOpts
+		nJobs int
+		want  int
+	}{
+		{RunOpts{}, 20, 0},                                   // sequential: machine default
+		{RunOpts{Parallelism: 1}, 20, 0},                     // one worker: machine default
+		{RunOpts{Parallelism: 8}, 20, 1},                     // jobs soak the budget
+		{RunOpts{Parallelism: 8}, 2, 4},                      // spare budget goes to nodes
+		{RunOpts{Parallelism: 16}, 1, 16},                    // one big config gets it all
+		{RunOpts{Parallelism: 8, NodeParallelism: 1}, 2, 1},  // explicit force-serial
+		{RunOpts{Parallelism: 8, NodeParallelism: 3}, 20, 3}, // explicit bound wins
+	}
+	for i, c := range cases {
+		if got := c.opts.nodeParallelism(c.nJobs); got != c.want {
+			t.Errorf("case %d: nodeParallelism(%d) = %d, want %d", i, c.nJobs, got, c.want)
+		}
+	}
+}
+
+func TestRunWithNodeParallelismMatchesRun(t *testing.T) {
+	// The node-parallel kernel must not change a single row: RunWith at any
+	// NodeParallelism is byte-identical to the sequential Run.
+	want, err := Run(context.Background(), tinySpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nodePar := range []int{1, 4} {
+		got, err := RunWith(context.Background(), tinySpec,
+			RunOpts{Parallelism: 2, NodeParallelism: nodePar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Rows, got.Rows) {
+			t.Errorf("node-par %d: rows differ\nwant %+v\ngot  %+v",
+				nodePar, want.Rows, got.Rows)
+		}
+	}
+}
