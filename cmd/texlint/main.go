@@ -62,7 +62,11 @@ func suite() []scoped {
 	return []scoped{
 		{determinism.Analyzer, func(p string) bool { return determinismScope[p] }},
 		{ctxfirst.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/internal/") }},
-		{locksafe.Analyzer, func(p string) bool { return p == "repro/internal/service" }},
+		{locksafe.Analyzer, func(p string) bool {
+			// The packages that hold mutexes around shared service state:
+			// blocking under those locks stalls every request.
+			return p == "repro/internal/service" || p == "repro/internal/cluster"
+		}},
 		{metriclint.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/") }},
 	}
 }

@@ -23,6 +23,15 @@
 // -debug-addr starts a second listener (keep it private) with net/http/pprof
 // profiling endpoints under /debug/pprof/ and the same /debug/traces view.
 //
+// Cluster mode joins several texsimd processes into one logical service
+// (see README "Running a cluster"): -peers lists the other members and
+// -self is this node's address as the others reach it. Jobs are routed to
+// the rendezvous owner of their cache key, caches federate across nodes,
+// idle nodes steal queued work (-steal-interval), and GET /cluster reports
+// the peer table and the routing counters:
+//
+//	texsimd -addr :8080 -self host1:8080 -peers host2:8080,host3:8080
+//
 // SIGINT/SIGTERM stop accepting new jobs and drain queued and running ones
 // (bounded by -drain-timeout) before exiting.
 package main
@@ -36,10 +45,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/resultcache"
 	"repro/internal/service"
 	"repro/internal/telemetry/logging"
@@ -63,6 +75,12 @@ func main() {
 		logFormat    = flag.String("log-format", "json", "log format: json or text")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for pprof and trace debugging (empty = disabled)")
 		spanCap      = flag.Int("trace-spans", 0, "finished spans retained for /debug/traces (0 = default)")
+
+		peers          = flag.String("peers", "", "comma-separated peer addresses (host:port or URL); empty = single-node")
+		self           = flag.String("self", "", "this node's address as peers reach it (required with -peers)")
+		healthInterval = flag.Duration("health-interval", 5*time.Second, "peer health probe period")
+		stealInterval  = flag.Duration("steal-interval", 2*time.Second, "idle-node work-stealing poll period (0 = stealing off)")
+		leaseTimeout   = flag.Duration("lease-timeout", 60*time.Second, "stolen-job lease before the origin re-queues it")
 	)
 	flag.Parse()
 
@@ -84,6 +102,18 @@ func main() {
 	if *drainTimeout < 0 {
 		cliutil.Usage("texsimd", fmt.Sprintf("-drain-timeout %v must be non-negative", *drainTimeout))
 	}
+	if *peers != "" && *self == "" {
+		cliutil.Usage("texsimd", "-peers requires -self (this node's address as peers reach it)")
+	}
+	if *healthInterval <= 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-health-interval %v must be positive", *healthInterval))
+	}
+	if *stealInterval < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-steal-interval %v must be non-negative", *stealInterval))
+	}
+	if *leaseTimeout <= 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-lease-timeout %v must be positive", *leaseTimeout))
+	}
 
 	level, err := logging.ParseLevel(*logLevel)
 	cliutil.Check("texsimd", err)
@@ -98,6 +128,24 @@ func main() {
 
 	tracer := tracing.NewTracer(*spanCap)
 
+	// One registry for service and cluster metrics, so /metrics exposes both.
+	reg := metrics.NewRegistry()
+	var cl *cluster.Cluster
+	if *peers != "" {
+		cl = cluster.New(cluster.Config{
+			Metrics:        reg,
+			HealthInterval: *healthInterval,
+			Logger:         logger,
+		})
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		cl.SetPeers(*self, peerList)
+	}
+
 	// The service gets its own root context rather than the signal context:
 	// SIGTERM must stop intake and drain, not cancel running jobs.
 	srv, err := service.New(context.Background(), service.Config{
@@ -107,9 +155,13 @@ func main() {
 		Parallelism:     *parallelism,
 		NodeParallelism: *nodePar,
 		Cache:           cache,
+		Metrics:         reg,
 		OutDir:          *outDir,
 		Logger:          logger,
 		Tracer:          tracer,
+		Cluster:         cl,
+		LeaseTimeout:    *leaseTimeout,
+		StealInterval:   *stealInterval,
 	})
 	cliutil.Check("texsimd", err)
 
@@ -134,6 +186,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if cl != nil {
+		cl.Start(ctx) // active health probing until shutdown
+		logger.Info("cluster mode", "self", cl.Self(), "members", len(cl.Members()))
+	}
 
 	errCh := make(chan error, 2)
 	go func() {

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/telemetry/tracing"
+)
+
+// Peer-protocol wire surface. Every call injects the caller's trace
+// context as a traceparent header (tracing.Inject), so a job's trace ID
+// survives forward, steal and completion hops and /debug/traces on any
+// node shows its slice of the same trace.
+
+const (
+	// RoutedHeader marks a submission that has already been routed once:
+	// the receiver must execute it locally — never re-forward, never
+	// spill — which is what makes forwarding loop-free.
+	RoutedHeader = "X-Texsimd-Routed"
+	// PeerHeader carries the calling node's advertised address, so the
+	// receiver can attribute steals and leases.
+	PeerHeader = "X-Texsimd-Peer"
+)
+
+// maxPeerBody bounds any peer response or pushed cache entry we will read.
+const maxPeerBody = 64 << 20
+
+// ErrPeerSaturated reports a forward the peer refused for capacity
+// reasons (429 queue full or 503 draining) — try the next peer.
+var ErrPeerSaturated = errors.New("peer saturated")
+
+// ErrRemoteJobLost reports a job the peer no longer knows (404) — the
+// peer restarted and lost its in-memory job table; fail over.
+var ErrRemoteJobLost = errors.New("remote job lost")
+
+// StolenJob is the steal-endpoint response: everything the thief needs to
+// run the job and hand the result back.
+type StolenJob struct {
+	// JobID is the job's identity on the origin node; completions quote it.
+	JobID string `json:"job_id"`
+	// LeaseNonce must round-trip into the completion — the origin discards
+	// completions whose nonce no longer matches the live lease.
+	LeaseNonce string `json:"lease_nonce"`
+	// Key is the result-cache key, so the thief can check caches first.
+	Key string `json:"key"`
+	// Traceparent carries the job's submit-time trace context.
+	Traceparent string `json:"traceparent,omitempty"`
+	// Request is the normalized job request document.
+	Request json.RawMessage `json:"request"`
+}
+
+// Completion is the body a thief posts back to the origin node.
+type Completion struct {
+	JobID      string          `json:"job_id"`
+	LeaseNonce string          `json:"lease_nonce"`
+	Error      string          `json:"error,omitempty"`
+	Payload    json.RawMessage `json:"payload,omitempty"`
+}
+
+// RemoteJob is the subset of a peer's job-status document polled by
+// forward supervision.
+type RemoteJob struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	FromCache bool   `json:"from_cache"`
+	Error     string `json:"error"`
+}
+
+// NewNonce mints a lease nonce (128-bit hex).
+func NewNonce() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("cluster: reading random nonce: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// do issues one peer request with the peer and trace headers set and
+// returns the response. The caller owns the body.
+func (c *Cluster) do(ctx context.Context, method, url string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(PeerHeader, c.Self())
+	tracing.Inject(ctx, req.Header)
+	return c.client.Do(req)
+}
+
+// drainClose reads and closes a response body so the connection is reused.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxPeerBody))
+	resp.Body.Close()
+}
+
+// ForwardJob submits body (a normalized request document) to addr as a
+// routed job and returns the remote job ID. ErrPeerSaturated means the
+// peer had no capacity; other errors mean the peer is unreachable or
+// rejected the request outright.
+func (c *Cluster) ForwardJob(ctx context.Context, addr string, body []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RoutedHeader, "1")
+	req.Header.Set(PeerHeader, c.Self())
+	tracing.Inject(ctx, req.Header)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var v RemoteJob
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&v); err != nil {
+			return "", fmt.Errorf("decoding forward response: %w", err)
+		}
+		if v.ID == "" {
+			return "", fmt.Errorf("forward response missing job id")
+		}
+		return v.ID, nil
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return "", fmt.Errorf("%w: %s returned %d", ErrPeerSaturated, addr, resp.StatusCode)
+	default:
+		return "", fmt.Errorf("forward to %s returned %d", addr, resp.StatusCode)
+	}
+}
+
+// JobStatus polls one remote job. ErrRemoteJobLost means the peer no
+// longer knows the job.
+func (c *Cluster) JobStatus(ctx context.Context, addr, id string) (RemoteJob, error) {
+	resp, err := c.do(ctx, http.MethodGet, addr+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return RemoteJob{}, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var v RemoteJob
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&v); err != nil {
+			return RemoteJob{}, fmt.Errorf("decoding job status: %w", err)
+		}
+		return v, nil
+	case http.StatusNotFound:
+		return RemoteJob{}, fmt.Errorf("%w: %s has no job %s", ErrRemoteJobLost, addr, id)
+	default:
+		return RemoteJob{}, fmt.Errorf("job status from %s returned %d", addr, resp.StatusCode)
+	}
+}
+
+// JobResult fetches a done remote job's result payload.
+func (c *Cluster) JobResult(ctx context.Context, addr, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, addr+"/api/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s has no job %s", ErrRemoteJobLost, addr, id)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("job result from %s returned %d", addr, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+}
+
+// CancelJob cancels a remote job, best effort.
+func (c *Cluster) CancelJob(ctx context.Context, addr, id string) error {
+	resp, err := c.do(ctx, http.MethodDelete, addr+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	drainClose(resp)
+	return nil
+}
+
+// FetchCached asks addr (the key's owner) for its cached result — the
+// federated read. ok is false on a clean 404 miss; errors mean the peer
+// could not be asked at all.
+func (c *Cluster) FetchCached(ctx context.Context, addr, key string) ([]byte, bool, error) {
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := c.do(fctx, http.MethodGet, addr+"/api/v1/cluster/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		val, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+		if err != nil {
+			return nil, false, err
+		}
+		return val, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("cache fetch from %s returned %d", addr, resp.StatusCode)
+	}
+}
+
+// PushCached writes a computed result into addr's cache — the ownership
+// handoff that keeps results landing in the right cache when a non-owner
+// node ends up simulating (failover and stolen runs). Best effort.
+func (c *Cluster) PushCached(ctx context.Context, addr, key string, val []byte) error {
+	resp, err := c.do(ctx, http.MethodPut, addr+"/api/v1/cluster/cache/"+key, val)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cache push to %s returned %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// Steal asks addr for one queued job. A nil StolenJob with nil error
+// means the peer had nothing to give (204).
+func (c *Cluster) Steal(ctx context.Context, addr string) (*StolenJob, error) {
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := c.do(sctx, http.MethodPost, addr+"/api/v1/cluster/steal", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var sj StolenJob
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&sj); err != nil {
+			return nil, fmt.Errorf("decoding stolen job: %w", err)
+		}
+		if sj.JobID == "" || sj.LeaseNonce == "" {
+			return nil, fmt.Errorf("stolen job from %s missing id or nonce", addr)
+		}
+		return &sj, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("steal from %s returned %d", addr, resp.StatusCode)
+	}
+}
+
+// Complete posts a stolen job's result back to its origin. accepted is
+// false when the origin discarded it as stale (the lease moved on).
+func (c *Cluster) Complete(ctx context.Context, addr string, comp Completion) (accepted bool, err error) {
+	body, err := json.Marshal(comp)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, addr+"/api/v1/cluster/complete", body)
+	if err != nil {
+		return false, err
+	}
+	defer drainClose(resp)
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent:
+		return true, nil
+	case http.StatusConflict:
+		return false, nil
+	default:
+		return false, fmt.Errorf("complete to %s returned %d", addr, resp.StatusCode)
+	}
+}

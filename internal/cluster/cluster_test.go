@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func newTestCluster(t *testing.T, self string, peers []string) *Cluster {
+	t.Helper()
+	c := New(Config{Metrics: metrics.NewRegistry()})
+	c.SetPeers(self, peers)
+	return c
+}
+
+func TestOwnerOfDeterministicAndOrderInvariant(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	shuffled := []string{"http://c:1", "http://a:1", "http://b:1"}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1 := OwnerOf(key, members)
+		o2 := OwnerOf(key, shuffled)
+		if o1 != o2 {
+			t.Fatalf("owner of %q depends on member order: %q vs %q", key, o1, o2)
+		}
+		if o1 != OwnerOf(key, members) {
+			t.Fatalf("owner of %q is not deterministic", key)
+		}
+	}
+	if OwnerOf("x", nil) != "" {
+		t.Fatal("owner of empty member set should be empty")
+	}
+}
+
+func TestOwnerOfDistributesEvenly(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[OwnerOf(fmt.Sprintf("key-%d", i), members)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		// A fair hash gives each of 3 members ~1/3; anything under 20%
+		// would break the load-spreading the routing design assumes.
+		if share < 0.2 || share > 0.5 {
+			t.Fatalf("member %s owns %.1f%% of keys, want roughly a third", m, 100*share)
+		}
+	}
+}
+
+func TestOwnerOfMinimalMovementOnMemberDeath(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1"}
+	without := []string{"http://a:1", "http://c:1"}
+	const n = 2000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := OwnerOf(key, full)
+		after := OwnerOf(key, without)
+		if before == "http://b:1" {
+			// Orphaned keys must land on a surviving member.
+			if after != "http://a:1" && after != "http://c:1" {
+				t.Fatalf("orphaned key %q got owner %q", key, after)
+			}
+			continue
+		}
+		if after != before {
+			moved++
+		}
+	}
+	// The rendezvous property: keys owned by survivors do not move at all.
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving members moved on a peer death", moved)
+	}
+}
+
+func TestSetPeersNormalizesAndDropsSelf(t *testing.T) {
+	c := newTestCluster(t, "host1:8080", []string{
+		"host2:8080", "http://host3:8080/", "host1:8080", "", "host2:8080",
+	})
+	if got := c.Self(); got != "http://host1:8080" {
+		t.Fatalf("Self() = %q", got)
+	}
+	want := []string{"http://host1:8080", "http://host2:8080", "http://host3:8080"}
+	got := c.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Members() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members() = %v, want %v", got, want)
+		}
+	}
+	// Replacing the membership drops absent peers and keeps known ones.
+	c.SetPeers("host1:8080", []string{"host2:8080"})
+	if got := c.Members(); len(got) != 2 {
+		t.Fatalf("after shrink Members() = %v", got)
+	}
+}
+
+func TestHealthTransitions(t *testing.T) {
+	c := newTestCluster(t, "http://self:1", []string{"http://peer:1"})
+	if !c.IsAlive("http://peer:1") {
+		t.Fatal("new peer should start optimistic-up")
+	}
+	// One failure is below the default threshold of 2.
+	c.ReportFailure("http://peer:1", fmt.Errorf("boom"))
+	if !c.IsAlive("http://peer:1") {
+		t.Fatal("one failure should not mark the peer down")
+	}
+	c.ReportFailure("http://peer:1", fmt.Errorf("boom"))
+	if c.IsAlive("http://peer:1") {
+		t.Fatal("two failures should mark the peer down")
+	}
+	if got := c.Alive(); len(got) != 1 || got[0] != "http://self:1" {
+		t.Fatalf("Alive() with peer down = %v", got)
+	}
+	if got := c.AlivePeers(); len(got) != 0 {
+		t.Fatalf("AlivePeers() with peer down = %v", got)
+	}
+	// Ownership must route around the dead peer: self owns everything.
+	if owner, self := c.Owner("any-key"); !self || owner != "http://self:1" {
+		t.Fatalf("Owner with all peers down = %q self=%v", owner, self)
+	}
+	c.ReportSuccess("http://peer:1")
+	if !c.IsAlive("http://peer:1") {
+		t.Fatal("a success should revive the peer")
+	}
+	if !c.IsAlive("http://self:1") {
+		t.Fatal("self is always alive")
+	}
+	if c.IsAlive("http://unknown:1") {
+		t.Fatal("unknown addresses are not alive")
+	}
+}
+
+func TestProbeMarksDeadPeerDown(t *testing.T) {
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer healthy.Close()
+	var draining atomic.Bool
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer sick.Close()
+
+	c := New(Config{
+		Metrics:        metrics.NewRegistry(),
+		ProbeTimeout:   time.Second,
+		HealthInterval: 10 * time.Millisecond,
+		FailThreshold:  2,
+	})
+	c.SetPeers("http://self:1", []string{healthy.URL, sick.URL})
+
+	ctx := context.Background()
+	c.ProbeNow(ctx)
+	if !c.IsAlive(healthy.URL) || !c.IsAlive(sick.URL) {
+		t.Fatal("both peers should probe healthy")
+	}
+
+	// A draining peer answers 503 and must be treated as down: it will not
+	// accept forwards.
+	draining.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.IsAlive(sick.URL) && time.Now().Before(deadline) {
+		c.ProbeNow(ctx)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.IsAlive(sick.URL) {
+		t.Fatal("draining peer never went down")
+	}
+	if !c.IsAlive(healthy.URL) {
+		t.Fatal("healthy peer should stay up")
+	}
+	st := c.Stats()
+	if st.ProbeFailures == 0 {
+		t.Fatal("probe failures should be counted")
+	}
+	if st.PeersUp != 1 {
+		t.Fatalf("peers_up = %d, want 1", st.PeersUp)
+	}
+
+	// Recovery: the peer starts answering again and a probe revives it
+	// (backoff is capped, but ProbeNow after nextProbe fires).
+	draining.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for !c.IsAlive(sick.URL) && time.Now().Before(deadline) {
+		c.ProbeNow(ctx)
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !c.IsAlive(sick.URL) {
+		t.Fatal("recovered peer never came back up")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	c := newTestCluster(t, "http://self:1", nil)
+	c.CountForward("route")
+	c.CountForward("spill")
+	c.CountForward("spill")
+	c.CountForwardFailure()
+	c.CountProxyHit()
+	c.CountProxyMiss()
+	c.CountStealGiven()
+	c.CountStealTaken()
+	c.CountStaleCompletion()
+	c.CountFailover()
+	st := c.Stats()
+	want := Stats{
+		ForwardsRoute: 1, ForwardsSpill: 2, ForwardFailures: 1,
+		ProxyCacheHits: 1, ProxyCacheMisses: 1,
+		StealsGiven: 1, StealsTaken: 1, StaleCompletions: 1, Failovers: 1,
+	}
+	if st != want {
+		t.Fatalf("Stats() = %+v, want %+v", st, want)
+	}
+}
+
+func TestOwnershipSharesSumToOne(t *testing.T) {
+	c := newTestCluster(t, "http://a:1", []string{"http://b:1", "http://c:1"})
+	shares := c.Ownership(512)
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("ownership shares sum to %v, want 1", sum)
+	}
+	if len(shares) != 3 {
+		t.Fatalf("ownership covers %d members, want 3", len(shares))
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Rendezvous (highest-random-weight) hashing maps every result-cache key
+// to exactly one alive member, with the property the cluster needs for
+// cache federation: when a member dies, only the keys it owned move, and
+// they move deterministically to the same new owner on every node that
+// shares the alive set. Unlike a ring, there is no token state to agree
+// on — the owner is a pure function of (key, member set).
+
+// rendezvousScore is the weight of member for key: the first 8 bytes of
+// sha256(key NUL member), big-endian. The NUL separator keeps
+// ("ab","c") and ("a","bc") from colliding.
+func rendezvousScore(key, member string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(member))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// OwnerOf returns the member with the highest rendezvous score for key
+// (ties break toward the lexicographically smaller address, though with a
+// 64-bit score they are effectively unreachable). Empty members returns "".
+func OwnerOf(key string, members []string) string {
+	var (
+		best      string
+		bestScore uint64
+		found     bool
+	)
+	for _, m := range members {
+		s := rendezvousScore(key, m)
+		if !found || s > bestScore || (s == bestScore && m < best) {
+			best, bestScore, found = m, s, true
+		}
+	}
+	return best
+}
+
+// Owner maps key to its owning member among the currently alive set and
+// reports whether that member is this node. With no peers (or all peers
+// down) the owner is always self.
+func (c *Cluster) Owner(key string) (addr string, self bool) {
+	alive := c.Alive()
+	owner := OwnerOf(key, alive)
+	return owner, owner == c.Self()
+}
+
+// Ownership samples n synthetic keys (default 256 when n <= 0) against
+// the alive set and returns each member's share — the "ownership ranges"
+// view of the /cluster document. Shares sum to 1 when any member is alive.
+func (c *Cluster) Ownership(n int) map[string]float64 {
+	if n <= 0 {
+		n = 256
+	}
+	alive := c.Alive()
+	out := make(map[string]float64, len(alive))
+	if len(alive) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[OwnerOf(fmt.Sprintf("probe-%d", i), alive)]++
+	}
+	for a := range out {
+		out[a] /= float64(n)
+	}
+	return out
+}

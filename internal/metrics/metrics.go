@@ -37,6 +37,19 @@ func (c *Counter) Add(delta int64) {
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// SyncTo raises the counter to v when v is larger, and is a no-op otherwise.
+// It mirrors an external monotonic source (e.g. resultcache.Stats) into the
+// registry without counting the same event in two places: the source stays
+// authoritative and the exported series can only move forward.
+func (c *Counter) SyncTo(v int64) {
+	for {
+		cur := c.v.Load()
+		if v <= cur || c.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Gauge is a value that can go up and down.
 type Gauge struct {
 	bits atomic.Uint64

@@ -133,3 +133,35 @@ func TestKindMismatchPanics(t *testing.T) {
 	}()
 	r.Gauge("x", "")
 }
+
+func TestCounterSyncTo(t *testing.T) {
+	var c Counter
+	c.SyncTo(5)
+	if c.Value() != 5 {
+		t.Fatalf("after SyncTo(5): %d", c.Value())
+	}
+	// Mirroring never moves the counter backwards.
+	c.SyncTo(3)
+	if c.Value() != 5 {
+		t.Fatalf("SyncTo(3) lowered the counter to %d", c.Value())
+	}
+	c.SyncTo(9)
+	if c.Value() != 9 {
+		t.Fatalf("after SyncTo(9): %d", c.Value())
+	}
+	// Concurrent mirrors settle on the maximum.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			for j := int64(0); j <= v; j++ {
+				c.SyncTo(j * 10)
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	if c.Value() != 80 {
+		t.Fatalf("after concurrent SyncTo: %d, want 80", c.Value())
+	}
+}

@@ -54,11 +54,14 @@ type Config struct {
 // DefaultMaxEntries is the in-memory entry bound when Config.MaxEntries is 0.
 const DefaultMaxEntries = 256
 
-// Stats are cumulative cache counters.
+// Stats are cumulative cache counters. This snapshot is the single source of
+// truth for cache accounting: both the /metrics exposition and the /cluster
+// status document render from it rather than keeping parallel counters.
 type Stats struct {
-	Hits      uint64 // Get served from memory or disk
-	Misses    uint64 // Get found nothing
-	Evictions uint64 // in-memory LRU evictions
+	Hits       uint64 // Get served from memory or disk
+	Misses     uint64 // Get found nothing
+	RemoteHits uint64 // results fetched from an owning peer (PutRemote)
+	Evictions  uint64 // in-memory LRU evictions
 }
 
 type entry struct {
@@ -179,6 +182,45 @@ func (c *Cache) Put(key string, val []byte) error {
 	return nil
 }
 
+// PutRemote stores a result fetched from the owning peer of key — a
+// federated cache hit. It counts toward Stats.RemoteHits (the local Get that
+// preceded it already counted as a miss) and then stores like Put, so the
+// proxied result is served locally from now on.
+func (c *Cache) PutRemote(key string, val []byte) error {
+	c.mu.Lock()
+	c.stats.RemoteHits++
+	c.mu.Unlock()
+	return c.Put(key, val)
+}
+
+// Peek returns the cached bytes for key without touching the hit/miss
+// counters — the lookup a peer performs on behalf of another node, which
+// should not skew this node's local hit ratio. Memory entries are still
+// promoted; the disk tier is consulted like Get.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	if c.disabled {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if val, err := os.ReadFile(c.path(key)); err == nil && json.Valid(val) {
+			c.mu.Lock()
+			c.insertLocked(key, val)
+			c.mu.Unlock()
+			return val, true
+		}
+	}
+	return nil, false
+}
+
 // insertLocked adds or refreshes the in-memory entry, evicting from the LRU
 // tail past capacity. Caller holds c.mu.
 func (c *Cache) insertLocked(key string, val []byte) {
@@ -195,6 +237,11 @@ func (c *Cache) insertLocked(key string, val []byte) {
 		c.stats.Evictions++
 	}
 }
+
+// Disabled reports whether the cache is a no-op (Config.Disabled). Cluster
+// cache federation checks this so that -no-cache disables remote lookups
+// too — a disabled cache must force re-simulation, not a peer fetch.
+func (c *Cache) Disabled() bool { return c.disabled }
 
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int {

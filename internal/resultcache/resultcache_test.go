@@ -243,3 +243,82 @@ func TestDiskUnreadableEntryCountsAsMiss(t *testing.T) {
 		t.Error("unreadable entry served as hit")
 	}
 }
+
+func TestPutRemoteCountsRemoteHit(t *testing.T) {
+	c, err := New(Config{MaxEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutRemote("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.RemoteHits != 1 {
+		t.Fatalf("remote hits = %d, want 1", st.RemoteHits)
+	}
+	// The proxied result is served locally from now on.
+	got, ok := c.Get("k")
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("Get after PutRemote = %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.RemoteHits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit 1 remote hit", st)
+	}
+}
+
+func TestPeekDoesNotTouchStats(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{MaxEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Peek("missing"); ok {
+		t.Fatal("peek hit on empty cache")
+	}
+	c.Put("k", []byte(`{"v":1}`))
+	got, ok := c.Peek("k")
+	if !ok || string(got) != `{"v":1}` {
+		t.Fatalf("Peek = %q, %v", got, ok)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved the stats: %+v", st)
+	}
+
+	// Peek consults the disk tier like Get.
+	c2, err := New(Config{MaxEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Peek("k"); !ok {
+		t.Fatal("Peek missed the disk tier")
+	}
+	if st := c2.Stats(); st != (Stats{}) {
+		t.Fatalf("disk Peek moved the stats: %+v", st)
+	}
+}
+
+func TestDisabledAccessor(t *testing.T) {
+	on, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := New(Config{Disabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Disabled() {
+		t.Fatal("enabled cache reports disabled")
+	}
+	if !off.Disabled() {
+		t.Fatal("disabled cache reports enabled")
+	}
+	if _, ok := off.Peek("k"); ok {
+		t.Fatal("disabled cache peeked a value")
+	}
+	if err := off.PutRemote("k", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := off.Get("k"); ok {
+		t.Fatal("disabled cache stored a remote value")
+	}
+}

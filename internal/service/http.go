@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -21,6 +22,14 @@ import (
 //	GET    /metrics                 Prometheus text exposition
 //	GET    /debug/traces            recent request/job spans (JSON)
 //	GET    /healthz                 liveness probe
+//	GET    /cluster                 cluster status (peers, ownership, counters)
+//
+// In cluster mode (Config.Cluster set) the peer protocol is also served:
+//
+//	GET    /api/v1/cluster/cache/{key}  federated cache read (owner side)
+//	PUT    /api/v1/cluster/cache/{key}  ownership-handoff cache write
+//	POST   /api/v1/cluster/steal        hand one queued job to an idle peer
+//	POST   /api/v1/cluster/complete     accept a stolen job's result
 //
 // Every request runs inside a server span (incoming W3C traceparent headers
 // are honoured, responses carry one back) and is counted in the per-route
@@ -38,6 +47,13 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /metrics", "metrics", s.handleMetrics)
 	handle("GET /debug/traces", "traces", s.tracer.DebugHandler().ServeHTTP)
 	handle("GET /healthz", "healthz", s.handleHealthz)
+	handle("GET /cluster", "cluster", s.handleClusterStatus)
+	if s.cfg.Cluster != nil {
+		handle("GET /api/v1/cluster/cache/{key}", "cache_get", s.handleCacheGet)
+		handle("PUT /api/v1/cluster/cache/{key}", "cache_put", s.handleCachePut)
+		handle("POST /api/v1/cluster/steal", "steal", s.handleSteal)
+		handle("POST /api/v1/cluster/complete", "complete", s.handleComplete)
+	}
 	return tracing.Middleware(s.tracer, mux)
 }
 
@@ -77,6 +93,10 @@ type jobView struct {
 	FinishedAt  string  `json:"finished_at,omitempty"`
 	DurationSec float64 `json:"duration_seconds,omitempty"`
 	ResultURL   string  `json:"result_url,omitempty"`
+	// Peer is the cluster member executing (or having executed) the job
+	// when it did not run on this node: the forward target, spill target
+	// or thief.
+	Peer string `json:"peer,omitempty"`
 }
 
 func viewOf(j *job) jobView {
@@ -100,6 +120,7 @@ func viewOf(j *job) jobView {
 	if j.status == StatusDone {
 		v.ResultURL = fmt.Sprintf("/api/v1/jobs/%s/result", j.id)
 	}
+	v.Peer = j.remoteAddr
 	return v
 }
 
@@ -123,7 +144,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	j, err := s.Submit(r.Context(), &req)
+	// A submission a peer already routed here must run here: re-forwarding
+	// it could loop. Plain client submissions are free to be routed.
+	routed := r.Header.Get(cluster.RoutedHeader) != ""
+	j, err := s.submit(r.Context(), &req, routed)
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
@@ -193,6 +217,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The cache counters mirror resultcache.Stats; raise them to the
+	// authoritative values before rendering so a scrape is never stale.
+	s.syncCacheMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WritePrometheus(w)
 }

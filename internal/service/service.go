@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/resultcache"
@@ -63,6 +64,24 @@ type Config struct {
 	// Tracer records request and job spans (nil = a fresh tracer with
 	// default capacity). Handler serves its ring at /debug/traces.
 	Tracer *tracing.Tracer
+
+	// Cluster, when non-nil, makes the server peer-aware: submissions are
+	// routed to the rendezvous owner of their cache key, cache misses ask
+	// the owning peer before simulating, a full queue spills to peers
+	// before answering 429, and the peer-protocol endpoints (steal,
+	// complete, cache federation) plus GET /cluster are served. Share the
+	// cluster's metrics registry with Metrics so /metrics exposes both.
+	Cluster *cluster.Cluster
+	// PollInterval is how often a forwarded job's supervisor polls the
+	// executing peer (0 = 250ms).
+	PollInterval time.Duration
+	// LeaseTimeout bounds a stolen job's lease: if the thief has not
+	// posted a completion by then, the job is re-queued locally and a
+	// late completion is discarded as stale (0 = 60s).
+	LeaseTimeout time.Duration
+	// StealInterval is the idle-node work-stealing poll period
+	// (0 = stealing disabled; health checking and routing still work).
+	StealInterval time.Duration
 
 	// runOverride replaces job execution in tests.
 	runOverride func(ctx context.Context, req *Request) ([]byte, error)
@@ -163,6 +182,15 @@ type job struct {
 	// job up.
 	traceID    tracing.TraceID
 	parentSpan tracing.SpanID
+
+	// Cluster-mode fields. remoteAddr/remoteID identify the peer executing
+	// a forwarded job (and the job's identity there); stolenBy/leaseNonce
+	// track an outstanding steal lease — a completion must quote the live
+	// nonce or it is discarded as stale.
+	remoteAddr string
+	remoteID   string
+	stolenBy   string
+	leaseNonce string
 }
 
 // Server is the simulation service. Create with New, expose with Handler,
@@ -186,20 +214,22 @@ type Server struct {
 	seq      uint64
 	draining bool
 
-	mSubmitted *metrics.CounterVec // by type
-	mCompleted *metrics.CounterVec // by final status
-	mRejected  *metrics.Counter
-	mPanics    *metrics.Counter
-	mQueued    *metrics.Gauge
-	mRunning   *metrics.Gauge
-	mCacheHit  *metrics.Counter
-	mCacheMiss *metrics.Counter
-	mSimCycles *metrics.Counter
-	mCPS       *metrics.Gauge
-	mDuration  *metrics.HistogramVec // by scene
-	mQueueWait *metrics.HistogramVec // by type
-	mHTTPReqs  *metrics.CounterVec   // by route, code
-	mHTTPDur   *metrics.HistogramVec // by route
+	mSubmitted  *metrics.CounterVec // by type
+	mCompleted  *metrics.CounterVec // by final status
+	mRejected   *metrics.Counter
+	mPanics     *metrics.Counter
+	mQueued     *metrics.Gauge
+	mRunning    *metrics.Gauge
+	mCacheHit   *metrics.Counter
+	mCacheMiss  *metrics.Counter
+	mCacheRem   *metrics.Counter
+	mCacheEvict *metrics.Counter
+	mSimCycles  *metrics.Counter
+	mCPS        *metrics.Gauge
+	mDuration   *metrics.HistogramVec // by scene
+	mQueueWait  *metrics.HistogramVec // by type
+	mHTTPReqs   *metrics.CounterVec   // by route, code
+	mHTTPDur    *metrics.HistogramVec // by route
 }
 
 // New builds the server and starts its worker pool. ctx is the root of
@@ -233,6 +263,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = tracing.NewTracer(0)
 	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 250 * time.Millisecond
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 60 * time.Second
+	}
 	logger := cfg.Logger
 	if logger == nil && cfg.Logf != nil {
 		// Legacy bridge: render records as text lines into the Logf hook.
@@ -260,8 +296,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mPanics = r.Counter("texsimd_worker_panics_total", "Worker panics isolated (job marked failed).")
 	s.mQueued = r.Gauge("texsimd_jobs_queued", "Jobs waiting in the queue.")
 	s.mRunning = r.Gauge("texsimd_jobs_running", "Jobs currently simulating.")
-	s.mCacheHit = r.Counter("texsimd_result_cache_hits_total", "Jobs answered from the result cache without simulating.")
-	s.mCacheMiss = r.Counter("texsimd_result_cache_misses_total", "Jobs that had to simulate.")
+	// The cache counters mirror resultcache.Stats — the cache is the single
+	// source of truth; syncCacheMetrics raises these before every scrape.
+	s.mCacheHit = r.Counter("texsimd_result_cache_hits_total", "Result-cache lookups served locally (memory or disk).")
+	s.mCacheMiss = r.Counter("texsimd_result_cache_misses_total", "Result-cache lookups that found nothing locally.")
+	s.mCacheRem = r.Counter("texsimd_result_cache_remote_hits_total", "Result-cache lookups served from the owning peer's cache.")
+	s.mCacheEvict = r.Counter("texsimd_result_cache_evictions_total", "In-memory result-cache LRU evictions.")
 	s.mSimCycles = r.Counter("texsimd_simulated_cycles_total", "Simulated machine cycles across completed sweep jobs.")
 	s.mCPS = r.Gauge("texsimd_simulated_cycles_per_second", "Simulated cycles per wall-second of the most recent uncached sweep job.")
 	s.mDuration = r.HistogramVec("texsimd_job_duration_seconds", "Job wall time from start to finish.", nil, "scene")
@@ -272,6 +312,10 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.Cluster != nil && cfg.StealInterval > 0 {
+		s.wg.Add(1)
+		go s.stealLoop()
 	}
 	return s, nil
 }
@@ -294,7 +338,19 @@ func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 // the submitter's trace context and request ID (from the HTTP middleware);
 // the job's own lifetime is governed by the server's root context, not by
 // ctx, so a closed client connection never cancels an accepted job.
+//
+// In cluster mode the request may not run here at all: a job whose cache
+// key is owned by a peer is forwarded to that peer (and supervised until
+// its result lands back), and a job that finds the local queue full spills
+// to any peer with capacity before the caller sees a 429.
 func (s *Server) Submit(ctx context.Context, req *Request) (*job, error) {
+	return s.submit(ctx, req, false)
+}
+
+// submit is Submit with the routing decision exposed: routed submissions
+// (already forwarded once by a peer) always run locally, which is what
+// keeps forwarding loop-free.
+func (s *Server) submit(ctx context.Context, req *Request, routed bool) (*job, error) {
 	if err := req.normalize(); err != nil {
 		return nil, &submitError{code: 400, err: err}
 	}
@@ -303,15 +359,50 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*job, error) {
 		return nil, &submitError{code: 400, err: err}
 	}
 
+	cl := s.cfg.Cluster
+	if cl != nil && !routed {
+		if owner, self := cl.Owner(key); !self {
+			return s.submitRouted(ctx, req, key, owner)
+		}
+	}
+
+	j, enqueued, err := s.register(ctx, req, key, true)
+	if err != nil {
+		return nil, err
+	}
+	if !enqueued {
+		if cl != nil && !routed {
+			if j, err := s.submitSpill(ctx, req, key); err == nil {
+				return j, nil
+			}
+		}
+		s.mRejected.Inc()
+		return nil, &submitError{code: 429, err: fmt.Errorf("job queue full (%d queued)", cap(s.queue))}
+	}
+
+	s.mSubmitted.With(req.Type).Inc()
+	s.mQueued.Set(float64(len(s.queue)))
+	s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job queued",
+		slog.String("type", req.Type), slog.String("cache_key", key[:12]))
+	return j, nil
+}
+
+// register creates and records a job for a normalized request. With
+// enqueue it also pushes the job onto the worker queue, reporting a full
+// queue through enqueued=false (in which case the job is NOT registered
+// and its ID is reused). Without enqueue the job is registered but owned
+// by the caller — the cluster forwarding paths, which supervise it
+// instead of a local worker.
+func (s *Server) register(ctx context.Context, req *Request, key string, enqueue bool) (j *job, enqueued bool, err error) {
 	jctx, cancel := context.WithCancel(s.baseCtx)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		cancel()
-		return nil, &submitError{code: 503, err: fmt.Errorf("service is draining")}
+		return nil, false, &submitError{code: 503, err: fmt.Errorf("service is draining")}
 	}
 	s.seq++
-	j := &job{
+	j = &job{
 		id:        fmt.Sprintf("job-%06d", s.seq),
 		req:       req,
 		key:       key,
@@ -335,26 +426,22 @@ func (s *Server) Submit(ctx context.Context, req *Request) (*job, error) {
 		attrs = append(attrs, slog.String("trace_id", j.traceID.String()))
 	}
 	j.ctx = logging.WithAttrs(jctx, attrs...)
-	// The push happens under s.mu so it cannot race with Drain closing the
-	// queue; it is non-blocking, so the lock is never held for long.
-	select {
-	case s.queue <- j:
-	default:
-		s.seq-- // unused ID
-		s.mu.Unlock()
-		cancel()
-		s.mRejected.Inc()
-		return nil, &submitError{code: 429, err: fmt.Errorf("job queue full (%d queued)", cap(s.queue))}
+	if enqueue {
+		// The push happens under s.mu so it cannot race with Drain closing
+		// the queue; it is non-blocking, so the lock is never held for long.
+		select {
+		case s.queue <- j:
+		default:
+			s.seq-- // unused ID
+			s.mu.Unlock()
+			cancel()
+			return nil, false, nil
+		}
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
-
-	s.mSubmitted.With(req.Type).Inc()
-	s.mQueued.Set(float64(len(s.queue)))
-	s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job queued",
-		slog.String("type", req.Type), slog.String("cache_key", key[:12]))
-	return j, nil
+	return j, true, nil
 }
 
 // submitError couples a submit failure with its HTTP status code.
@@ -416,11 +503,9 @@ func (s *Server) runJob(j *job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
-		if cached, ok := s.cache.Get(j.key); ok {
-			s.mCacheHit.Inc()
+		if cached, ok := s.lookupCache(ctx, j.key); ok {
 			return cached, true, nil
 		}
-		s.mCacheMiss.Inc()
 		payload, err = s.execute(ctx, j.req)
 		if err != nil {
 			return nil, false, err
@@ -430,6 +515,10 @@ func (s *Server) runJob(j *job) {
 			s.logger.LogAttrs(j.ctx, slog.LevelWarn, "result cache write failed",
 				slog.String("error", cerr.Error()))
 		}
+		// Ownership handoff: a result computed on a non-owner node (spill,
+		// failover, or a shrunken alive set) is pushed to the key's owner so
+		// future federated lookups from any node find it there.
+		s.pushToOwner(ctx, j.key, payload)
 		return payload, false, nil
 	}()
 

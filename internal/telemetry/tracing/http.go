@@ -1,6 +1,7 @@
 package tracing
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
@@ -8,6 +9,20 @@ import (
 
 // TraceparentHeader is the W3C Trace Context carrier header.
 const TraceparentHeader = "traceparent"
+
+// Inject writes ctx's trace context into h as a traceparent header, so an
+// outgoing peer request continues the current trace across the process hop.
+// The context's live span wins; a remote parent installed by
+// ContextWithRemoteParent is used otherwise; with neither, h is untouched.
+func Inject(ctx context.Context, h http.Header) {
+	if span := FromContext(ctx); span != nil {
+		h.Set(TraceparentHeader, Traceparent(span.TraceID(), span.SpanID()))
+		return
+	}
+	if t, s, ok := RemoteParentFromContext(ctx); ok {
+		h.Set(TraceparentHeader, Traceparent(t, s))
+	}
+}
 
 // statusWriter captures the response status for the server span.
 type statusWriter struct {

@@ -172,6 +172,13 @@ func ContextWithRemoteParent(ctx context.Context, t TraceID, s SpanID) context.C
 	return context.WithValue(ctx, remoteKey{}, remoteParent{traceID: t, spanID: s})
 }
 
+// RemoteParentFromContext returns the remote trace context installed by
+// ContextWithRemoteParent, if any.
+func RemoteParentFromContext(ctx context.Context) (TraceID, SpanID, bool) {
+	rp, ok := ctx.Value(remoteKey{}).(remoteParent)
+	return rp.traceID, rp.spanID, ok
+}
+
 // FromContext returns the current span, or nil.
 func FromContext(ctx context.Context) *Span {
 	s, _ := ctx.Value(ctxKey{}).(*Span)
