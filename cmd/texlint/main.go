@@ -24,8 +24,11 @@ import (
 	"repro/internal/analysis/ctxfirst"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/framework"
+	"repro/internal/analysis/goleak"
 	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/metriclint"
+	"repro/internal/analysis/parshare"
+	"repro/internal/analysis/rpchygiene"
 )
 
 // scoped pairs an analyzer with the import paths it applies to.
@@ -68,6 +71,19 @@ func suite() []scoped {
 			return p == "repro/internal/service" || p == "repro/internal/cluster"
 		}},
 		{metriclint.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/") }},
+		{goleak.Analyzer, func(p string) bool {
+			// The layers whose goroutines must drain on SIGTERM or peer
+			// death: the job service, the cluster plane, and the sweep
+			// engine that fans work out under them.
+			return p == "repro/internal/service" || p == "repro/internal/cluster" ||
+				p == "repro/internal/sweep"
+		}},
+		{parshare.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/") }},
+		{rpchygiene.Analyzer, func(p string) bool {
+			// The two packages on the cluster wire: the peer-protocol
+			// client and the HTTP handlers.
+			return p == "repro/internal/service" || p == "repro/internal/cluster"
+		}},
 	}
 }
 

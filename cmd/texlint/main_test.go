@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildTexlint compiles the texlint binary once into a temp dir and
+// returns its path.
+func buildTexlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "texlint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building texlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot walks up from the working directory to the directory holding
+// go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestVetToolCleanTree drives the full go vet -vettool protocol (version
+// probe, flag probe, per-package .cfg invocations) over real repository
+// packages and expects a clean exit: the tree must hold its own contracts.
+func TestVetToolCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildTexlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/cluster/...", "./internal/service/...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over a clean tree failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolReportsViolation builds a throwaway module that reuses this
+// repository's module path (so the suite's import-path scoping applies),
+// plants a locksafe violation in its internal/cluster package, and expects
+// go vet -vettool to fail with the diagnostic.
+func TestVetToolReportsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := buildTexlint(t)
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module repro\n\ngo 1.22\n")
+	write("internal/cluster/bad.go", `package cluster
+
+import "sync"
+
+type table struct {
+	mu    sync.Mutex
+	peers map[string]bool
+}
+
+func (t *table) add(addr string) {
+	t.mu.Lock()
+	t.peers[addr] = true
+}
+`)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	// An isolated GOFLAGS keeps a caller's -mod=vendor from leaking in.
+	cmd.Env = append(os.Environ(), "GOFLAGS=")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed over a planted lock leak; output:\n%s", out)
+	}
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("go vet did not exit with a status error: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "no corresponding Unlock") {
+		t.Fatalf("diagnostic missing from go vet output:\n%s", out)
+	}
+}
+
+// TestListFlag keeps the -list inventory in sync with the suite.
+func TestListFlag(t *testing.T) {
+	bin := buildTexlint(t)
+	var out bytes.Buffer
+	cmd := exec.Command(bin, "-list")
+	cmd.Stdout = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("texlint -list: %v", err)
+	}
+	for _, name := range []string{"determinism", "ctxfirst", "locksafe", "metriclint", "goleak", "parshare", "rpchygiene"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("texlint -list missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}

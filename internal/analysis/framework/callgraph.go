@@ -1,0 +1,132 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a lightweight intra-package call graph: it maps each
+// function or method declared in the package to its declaration, resolves
+// static call sites to those declarations, and computes the set of
+// package-local bodies transitively reachable from any AST node. It is the
+// shared substrate for analyzers that must reason across function
+// boundaries (goroutine lifecycles, header-commit helpers, context
+// plumbing) without the cost or dependency weight of a whole-program SSA
+// graph. Calls through function values, interfaces with out-of-package
+// implementations, and other packages resolve to nothing and are simply
+// edges the graph does not have; analyzers decide whether an unresolved
+// edge is benign or reportable.
+type CallGraph struct {
+	info  *types.Info
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// NewCallGraph indexes every function and method declaration in the pass's
+// files.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		info:  pass.TypesInfo,
+		decls: make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				g.decls[fn] = fd
+			}
+		}
+	}
+	return g
+}
+
+// Decl returns the package-local declaration of fn, or nil when fn is
+// declared elsewhere (another package, an interface method, a func value).
+func (g *CallGraph) Decl(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return g.decls[fn]
+}
+
+// StaticCallee resolves a call expression to the *types.Func it statically
+// invokes: a plain function, a method on a concrete receiver, or an
+// interface method (which has a *types.Func too, just never a local Decl
+// unless the package defines it). Calls through bare function values
+// return nil.
+func (g *CallGraph) StaticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := g.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := g.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// Reachable returns the declarations of every package-local function
+// transitively callable from root (root's own calls, their local callees'
+// calls, and so on). root itself is not included unless it is called back
+// into.
+func (g *CallGraph) Reachable(root ast.Node) []*ast.FuncDecl {
+	seen := make(map[*ast.FuncDecl]bool)
+	var out []*ast.FuncDecl
+	var visit func(n ast.Node)
+	visit = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			decl := g.Decl(g.StaticCallee(call))
+			if decl == nil || seen[decl] {
+				return true
+			}
+			seen[decl] = true
+			out = append(out, decl)
+			visit(decl.Body)
+			return true
+		})
+	}
+	visit(root)
+	return out
+}
+
+// FreeVars returns the variables a function literal captures from its
+// environment: every *types.Var used inside lit that is declared outside it
+// (enclosing locals, receiver and parameters of the enclosing function, and
+// package-level variables — all of which are shared when the literal runs
+// on several goroutines). Struct fields are excluded; a field access is
+// attributed to the captured root variable instead. The map value is the
+// first use site, for positioning diagnostics.
+func FreeVars(info *types.Info, lit *ast.FuncLit) map[*types.Var]*ast.Ident {
+	defined := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				defined[obj] = true
+			}
+		}
+		return true
+	})
+	free := make(map[*types.Var]*ast.Ident)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || defined[v] {
+			return true
+		}
+		if _, dup := free[v]; !dup {
+			free[v] = id
+		}
+		return true
+	})
+	return free
+}

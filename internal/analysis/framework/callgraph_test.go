@@ -1,0 +1,179 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/framework"
+)
+
+// checkSource type-checks one synthetic file and wraps it as a Package.
+func checkSource(t *testing.T, src string) *framework.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &framework.Package{
+		ImportPath: "p",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+type T struct{}
+
+func (T) m() { c() }
+
+func a() { b() }
+func b() { var t T; t.m() }
+func c() {}
+func unrelated() {}
+`)
+	pass := &framework.Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.Info}
+	g := framework.NewCallGraph(pass)
+
+	var aDecl *ast.FuncDecl
+	for _, d := range pkg.Files[0].Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "a" {
+			aDecl = fd
+		}
+	}
+	if aDecl == nil {
+		t.Fatal("func a not found")
+	}
+	var got []string
+	for _, d := range g.Reachable(aDecl.Body) {
+		got = append(got, d.Name.Name)
+	}
+	want := map[string]bool{"b": true, "m": true, "c": true}
+	if len(got) != len(want) {
+		t.Fatalf("Reachable(a) = %v, want b, m, c", got)
+	}
+	for _, n := range got {
+		if !want[n] {
+			t.Fatalf("Reachable(a) = %v, want b, m, c", got)
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+var global int
+
+type S struct{ field int }
+
+func f(s S) func(i int) {
+	captured := 0
+	_ = captured
+	return func(i int) {
+		local := i
+		captured = local
+		global++
+		_ = s.field
+	}
+}
+`)
+	var lit *ast.FuncLit
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no func literal found")
+	}
+	free := framework.FreeVars(pkg.Info, lit)
+	names := make(map[string]bool)
+	for v := range free {
+		names[v.Name()] = true
+	}
+	for _, want := range []string{"captured", "global", "s"} {
+		if !names[want] {
+			t.Errorf("FreeVars missing %q (got %v)", want, names)
+		}
+	}
+	for _, banned := range []string{"i", "local", "field"} {
+		if names[banned] {
+			t.Errorf("FreeVars wrongly captured %q", banned)
+		}
+	}
+}
+
+// TestStaleSuppression verifies the directive hygiene pass: a directive that
+// absorbs a diagnostic survives, a stale one is reported, one naming only an
+// analyzer outside the run set is left alone, and a missing justification is
+// reported regardless.
+func TestStaleSuppression(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+//texlint:ignore everyline fires on the next line, so this one is used
+func used() {}
+
+//texlint:ignore everyline stale: nothing fires here
+
+//texlint:ignore otherlint out of scope for this run, must not be reported
+var x = 1
+
+//texlint:ignore everyline
+func noReason() {}
+`)
+	everyline := &framework.Analyzer{
+		Name: "everyline",
+		Doc:  "reports every function declaration (test helper)",
+		Run: func(pass *framework.Pass) error {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fn, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fn.Pos(), "func %s", fn.Name.Name)
+					}
+				}
+			}
+			return nil
+		},
+	}
+	diags, err := framework.RunAnalyzers(pkg, []*framework.Analyzer{everyline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.String())
+	}
+	joined := strings.Join(got, "\n")
+	if strings.Contains(joined, "func used") {
+		t.Errorf("suppressed diagnostic leaked:\n%s", joined)
+	}
+	if !strings.Contains(joined, "unused //texlint:ignore everyline") {
+		t.Errorf("stale directive not reported:\n%s", joined)
+	}
+	if strings.Contains(joined, "otherlint") {
+		t.Errorf("out-of-run-set directive wrongly reported:\n%s", joined)
+	}
+	if !strings.Contains(joined, "needs a justification") {
+		t.Errorf("justification-less directive not reported:\n%s", joined)
+	}
+	// The no-reason directive still suppresses; only its missing reason is
+	// reported.
+	if strings.Contains(joined, "func noReason") {
+		t.Errorf("no-reason directive failed to suppress:\n%s", joined)
+	}
+}

@@ -17,8 +17,11 @@
 //	//texlint:ignore name1,name2 reason...
 //	//texlint:ignore all reason...
 //
-// naming the analyzer. The reason is mandatory in spirit (reviewers should
-// see why) but not enforced.
+// naming the analyzer. The reason is mandatory: a directive without one is
+// itself a diagnostic, and so is a stale directive — one that names an
+// analyzer in the run set yet suppresses nothing. Both are reported under
+// the reserved analyzer name "suppression" and cannot themselves be
+// suppressed, which keeps the suppression inventory honest over time.
 package framework
 
 import (
@@ -84,14 +87,33 @@ func (d Diagnostic) String() string {
 }
 
 // ignoreRe matches texlint suppression comments. The directive must open
-// the comment: `//texlint:ignore determinism reason...`.
-var ignoreRe = regexp.MustCompile(`^//\s*texlint:ignore\s+([a-zA-Z0-9_,]+)`)
+// the comment: `//texlint:ignore determinism reason...`. The trailing text
+// is the justification, required by the suppression checker.
+var ignoreRe = regexp.MustCompile(`^//\s*texlint:ignore\s+([a-zA-Z0-9_,]+)[ \t]*(.*)$`)
 
-// ignoreIndex records, per file and line, which analyzers are suppressed.
-type ignoreIndex map[string]map[int]map[string]bool
+// SuppressionName is the reserved analyzer name under which directive
+// hygiene findings (missing justification, stale directive) are reported.
+// Those findings bypass the suppression filter by construction, so a stale
+// directive cannot hide itself behind another directive.
+const SuppressionName = "suppression"
 
-func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
-	idx := make(ignoreIndex)
+// ignoreDirective is one parsed suppression comment. used flips when it
+// absorbs at least one diagnostic during a run.
+type ignoreDirective struct {
+	pos    token.Position
+	names  map[string]bool
+	reason string
+	used   bool
+}
+
+// ignoreIndex records, per file and line, which directives cover the line.
+type ignoreIndex struct {
+	directives []*ignoreDirective
+	byLine     map[string]map[int][]*ignoreDirective
+}
+
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) *ignoreIndex {
+	idx := &ignoreIndex{byLine: make(map[string]map[int][]*ignoreDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -100,25 +122,25 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					idx[pos.Filename] = byLine
+				dir := &ignoreDirective{
+					pos:    pos,
+					names:  make(map[string]bool),
+					reason: strings.TrimSpace(m[2]),
 				}
-				names := make(map[string]bool)
 				for _, n := range strings.Split(m[1], ",") {
-					names[strings.TrimSpace(n)] = true
+					dir.names[strings.TrimSpace(n)] = true
+				}
+				idx.directives = append(idx.directives, dir)
+				byLine := idx.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*ignoreDirective)
+					idx.byLine[pos.Filename] = byLine
 				}
 				// The comment covers its own line and the next, so both
 				// trailing (`stmt //texlint:ignore x`) and standalone
 				// (`//texlint:ignore x` above the stmt) placements work.
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if byLine[line] == nil {
-						byLine[line] = make(map[string]bool)
-					}
-					for n := range names {
-						byLine[line][n] = true
-					}
+					byLine[line] = append(byLine[line], dir)
 				}
 			}
 		}
@@ -126,13 +148,56 @@ func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
 	return idx
 }
 
-func (idx ignoreIndex) suppressed(d Diagnostic) bool {
-	byLine := idx[d.Pos.Filename]
-	if byLine == nil {
-		return false
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	hit := false
+	for _, dir := range idx.byLine[d.Pos.Filename][d.Pos.Line] {
+		if dir.names[d.Analyzer] || dir.names["all"] {
+			dir.used = true
+			hit = true
+		}
 	}
-	names := byLine[d.Pos.Line]
-	return names != nil && (names[d.Analyzer] || names["all"])
+	return hit
+}
+
+// staleDiagnostics reports directive hygiene after a run: directives with no
+// justification, and directives that name an analyzer that ran (or "all")
+// yet suppressed nothing. Directives aimed only at analyzers outside the run
+// set are left alone — texlint runs scoped subsets per package, and a
+// directive for an out-of-scope analyzer is not evidence of staleness.
+func (idx *ignoreIndex) staleDiagnostics(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range idx.directives {
+		var names []string
+		for n := range dir.names {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		label := strings.Join(names, ",")
+		if dir.reason == "" {
+			out = append(out, Diagnostic{
+				Analyzer: SuppressionName,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("//texlint:ignore %s needs a justification after the analyzer name(s)", label),
+			})
+		}
+		if dir.used {
+			continue
+		}
+		relevant := dir.names["all"]
+		for n := range ran {
+			if dir.names[n] {
+				relevant = true
+			}
+		}
+		if relevant {
+			out = append(out, Diagnostic{
+				Analyzer: SuppressionName,
+				Pos:      dir.pos,
+				Message:  fmt.Sprintf("unused //texlint:ignore %s: nothing fires on this or the next line; remove the stale directive", label),
+			})
+		}
+	}
+	return out
 }
 
 // RunAnalyzers applies each analyzer to the package and returns the
@@ -157,6 +222,11 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: analyzing %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	out = append(out, idx.staleDiagnostics(ran)...)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {

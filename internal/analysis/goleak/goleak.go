@@ -1,0 +1,130 @@
+// Package goleak checks that every goroutine launched in the service,
+// cluster and sweep layers is tied to a lifecycle, so SIGTERM drain and
+// peer death cannot strand goroutines behind a dead listener.
+//
+// A `go` statement passes when the launched function — its literal body or
+// its package-local declaration, plus everything transitively reachable
+// from it through the intra-package call graph — contains at least one
+// lifecycle anchor:
+//
+//   - a context cancellation check (ctx.Done()),
+//   - a sync.WaitGroup interaction (wg.Done() marking completion for a
+//     waiter, or wg.Wait() making the goroutine itself the waiter), or
+//   - a `for ... range ch` loop over a channel, which exits when the
+//     channel is closed.
+//
+// Goroutines launched through bare function values or functions declared
+// in other packages cannot be proven safe and are reported; route them
+// through a package-local named function instead.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the goroutine-lifecycle check.
+var Analyzer = &framework.Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement must reach a lifecycle anchor: ctx.Done, a WaitGroup, or a channel range",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	graph := framework.NewCallGraph(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, graph, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *framework.Pass, graph *framework.CallGraph, g *ast.GoStmt) {
+	var root ast.Node
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		root = fun.Body
+	default:
+		decl := graph.Decl(graph.StaticCallee(g.Call))
+		if decl == nil {
+			pass.Reportf(g.Pos(), "goroutine launched through a function texlint cannot see into (value or other package); launch a package-local named function so its lifecycle is checkable")
+			return
+		}
+		root = decl.Body
+	}
+	if hasAnchor(pass, root) {
+		return
+	}
+	for _, decl := range graph.Reachable(root) {
+		if hasAnchor(pass, decl.Body) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine is not tied to a lifecycle: nothing reachable from it checks ctx.Done, touches a sync.WaitGroup, or ranges over a channel")
+}
+
+// hasAnchor scans one function body for a lifecycle anchor.
+func hasAnchor(pass *framework.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "context":
+				if fn.Name() == "Done" {
+					found = true
+					return false
+				}
+			case "sync":
+				if (fn.Name() == "Done" || fn.Name() == "Wait") && recvNamed(fn) == "WaitGroup" {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recvNamed returns the name of the method's receiver type, or "".
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

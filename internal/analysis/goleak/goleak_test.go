@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	framework.RunTest(t, ".", goleak.Analyzer, "leak")
+}

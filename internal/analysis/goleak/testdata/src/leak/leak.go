@@ -1,0 +1,104 @@
+// Package leak exercises the goleak analyzer: goroutines must be tied to a
+// lifecycle (ctx.Done, WaitGroup, or channel range).
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// spinForever never checks any lifecycle signal.
+func spinForever() {
+	for {
+		work()
+	}
+}
+
+// ctxLoop is a well-behaved cancellable loop.
+func ctxLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// helperWithCtx hides the ctx.Done check one call level down.
+func helperWithCtx(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// viaHelper only reaches a lifecycle anchor transitively.
+func viaHelper(ctx context.Context) {
+	work()
+	helperWithCtx(ctx)
+}
+
+func bareLit() {
+	go func() { // want `goroutine is not tied to a lifecycle`
+		for {
+			work()
+		}
+	}()
+}
+
+func namedLeak() {
+	go spinForever() // want `goroutine is not tied to a lifecycle`
+}
+
+func funcValue() {
+	fn := spinForever
+	go fn() // want `cannot see into`
+}
+
+func wgTracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func ctxTracked(ctx context.Context) {
+	go ctxLoop(ctx)
+}
+
+func transitively(ctx context.Context) {
+	go viaHelper(ctx)
+}
+
+func channelRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// waiter is itself the WaitGroup's consumer: it exits when the group
+// drains, which is a lifecycle too (the drain path uses this shape).
+func waiter(wg *sync.WaitGroup) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	return done
+}
+
+// suppressedLeak shows a justified suppression: the directive absorbs the
+// diagnostic, so it is used and not reported as stale.
+func suppressedLeak() {
+	go spinForever() //texlint:ignore goleak process-lifetime metronome, exits with the binary
+}
+
+// The next directive suppresses nothing: the suppression checker flags it.
+func staleDirective(ctx context.Context) {
+	//texlint:ignore goleak nothing fires below, so this directive is stale // want `unused //texlint:ignore goleak`
+	go ctxLoop(ctx)
+}

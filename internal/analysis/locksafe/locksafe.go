@@ -11,8 +11,11 @@
 //   - calls to function-typed parameters (user callbacks run with the lock
 //     held can re-enter and deadlock).
 //
-// It also reports a Lock/RLock with no corresponding Unlock/RUnlock —
-// direct or deferred — anywhere in the same function.
+// It also reports a Lock with no corresponding Unlock — direct or
+// deferred — anywhere in the same function. Read and write modes pair
+// separately: an RLock is only discharged by an RUnlock, and the blocking
+// checks above apply under read locks too (a blocked reader still stalls
+// any writer queued behind it, and every later reader behind that writer).
 //
 // The tracking is a source-order approximation, not a CFG: a guard clause
 // that unlocks and returns (`if bad { mu.Unlock(); return }`) is recognized
@@ -50,7 +53,12 @@ func run(pass *framework.Pass) error {
 			held := w.stmts(fn.Body.List, map[string]token.Pos{})
 			_ = held
 			for _, ev := range w.lockEvents {
-				if !w.unlockSeen[ev.key] {
+				if w.unlockSeen[heldKey(ev.key, ev.op)] {
+					continue
+				}
+				if ev.op == "RLock" {
+					pass.Reportf(ev.pos, "%s.RLock with no corresponding RUnlock in this function", ev.key)
+				} else {
 					pass.Reportf(ev.pos, "%s.Lock with no corresponding Unlock in this function", ev.key)
 				}
 			}
@@ -78,7 +86,18 @@ func paramObjs(pass *framework.Pass, fn *ast.FuncDecl) map[types.Object]bool {
 
 type lockEvent struct {
 	key string
+	op  string // "Lock" or "RLock"
 	pos token.Pos
+}
+
+// heldKey is the held-set entry for a lock key and mode. Read-mode holds
+// are labelled so an RUnlock never discharges a Lock (or vice versa) and
+// diagnostics name the mode that was held.
+func heldKey(key, op string) string {
+	if op == "RLock" || op == "RUnlock" {
+		return key + " (read)"
+	}
+	return key
 }
 
 type walker struct {
@@ -89,19 +108,20 @@ type walker struct {
 }
 
 // mutexOp classifies a call as a sync.Mutex/RWMutex lock or unlock on a
-// receiver expression, returning its rendered key.
-func (w *walker) mutexOp(call *ast.CallExpr) (key string, lock, unlock bool) {
+// receiver expression, returning its rendered key and the method name
+// (Lock, Unlock, RLock or RUnlock; "" for anything else).
+func (w *walker) mutexOp(call *ast.CallExpr) (key, op string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", false, false
+		return "", ""
 	}
 	fn, ok := w.pass.ObjectOf(sel.Sel).(*types.Func)
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", false, false
+		return "", ""
 	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
-		return "", false, false
+		return "", ""
 	}
 	recv := sig.Recv().Type()
 	if p, ok := recv.(*types.Pointer); ok {
@@ -109,19 +129,16 @@ func (w *walker) mutexOp(call *ast.CallExpr) (key string, lock, unlock bool) {
 	}
 	named, ok := recv.(*types.Named)
 	if !ok {
-		return "", false, false
+		return "", ""
 	}
 	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
-		return "", false, false
+		return "", ""
 	}
-	key = types.ExprString(sel.X)
 	switch fn.Name() {
-	case "Lock", "RLock":
-		return key, true, false
-	case "Unlock", "RUnlock":
-		return key, false, true
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name()
 	}
-	return "", false, false
+	return "", ""
 }
 
 // stmts walks a statement list in source order, threading the held-lock set.
@@ -163,23 +180,25 @@ func (w *walker) stmt(s ast.Stmt, held map[string]token.Pos) map[string]token.Po
 	switch s := s.(type) {
 	case *ast.ExprStmt:
 		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, lock, unlock := w.mutexOp(call); lock || unlock {
-				if lock {
-					w.lockEvents = append(w.lockEvents, lockEvent{key, call.Pos()})
-					held[key] = call.Pos()
-				} else {
-					w.unlockSeen[key] = true
-					delete(held, key)
+			if key, op := w.mutexOp(call); op != "" {
+				hk := heldKey(key, op)
+				switch op {
+				case "Lock", "RLock":
+					w.lockEvents = append(w.lockEvents, lockEvent{key, op, call.Pos()})
+					held[hk] = call.Pos()
+				default:
+					w.unlockSeen[hk] = true
+					delete(held, hk)
 				}
 				return held
 			}
 		}
 		w.scan(s, held)
 	case *ast.DeferStmt:
-		if key, _, unlock := w.mutexOp(s.Call); unlock {
+		if key, op := w.mutexOp(s.Call); op == "Unlock" || op == "RUnlock" {
 			// The lock stays held to the end of the function, but the
 			// unlock is guaranteed.
-			w.unlockSeen[key] = true
+			w.unlockSeen[heldKey(key, op)] = true
 			return held
 		}
 		// The deferred call itself runs after the critical section; only

@@ -124,3 +124,62 @@ func (s *S) suppressedSend(v int) {
 	s.ch <- v //texlint:ignore locksafe testdata exercises suppression
 	s.mu.Unlock()
 }
+
+// R exercises the RWMutex mode separation: RLock pairs only with
+// RUnlock, blocking checks apply under read locks, and a deferred
+// RUnlock discharges the read hold.
+type R struct {
+	mu    sync.RWMutex
+	ch    chan int
+	table map[string]int
+}
+
+func (r *R) readDeferred(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.table[k]
+}
+
+func (r *R) readGuardClause(k string) (int, bool) {
+	r.mu.RLock()
+	v, ok := r.table[k]
+	if !ok {
+		r.mu.RUnlock()
+		return 0, false
+	}
+	r.mu.RUnlock()
+	return v, true
+}
+
+func (r *R) readNoUnlock(k string) int {
+	r.mu.RLock() // want `r.mu.RLock with no corresponding RUnlock in this function`
+	return r.table[k]
+}
+
+func (r *R) readPairedWithWriteUnlock(k string) int {
+	r.mu.RLock() // want `r.mu.RLock with no corresponding RUnlock in this function`
+	v := r.table[k]
+	r.mu.Unlock() // the wrong mode: this does not discharge the RLock
+	return v
+}
+
+func (r *R) sendUnderReadLock(v int) {
+	r.mu.RLock()
+	r.ch <- v // want `channel send while r.mu \(read\) is held`
+	r.mu.RUnlock()
+}
+
+func (r *R) sleepUnderReadLock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while r.mu \(read\) is held`
+}
+
+func (r *R) writeThenRead(k string) int {
+	r.mu.Lock()
+	r.table[k] = 1
+	r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.table[k]
+}

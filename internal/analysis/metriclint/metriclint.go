@@ -14,7 +14,11 @@
 //   - label names are constants matching ^[a-z_][a-z0-9_]*$, are not
 //     duplicated, and number at most three per metric: every label
 //     multiplies series cardinality, so label sets must stay small and
-//     bounded.
+//     bounded;
+//   - counters end in _total (the Prometheus counter convention), and
+//     histogram base names end in none of _bucket, _sum, _count or _total —
+//     the exposition renderer appends _bucket, _sum and _count to the base
+//     name, so a reserved suffix collides with the rendered series.
 package metriclint
 
 import (
@@ -24,6 +28,7 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
+	"strings"
 
 	"repro/internal/analysis/framework"
 )
@@ -31,8 +36,9 @@ import (
 // Analyzer is the metric-conventions check.
 var Analyzer = &framework.Analyzer{
 	Name: "metriclint",
-	Doc: "metric names are constant, match ^[a-z][a-z0-9_]*$ and register " +
-		"once; label sets are constant, valid and bounded",
+	Doc: "metric names are constant, match ^[a-z][a-z0-9_]*$, carry the " +
+		"kind's suffix and register once; label sets are constant, valid " +
+		"and bounded",
 	Run: run,
 }
 
@@ -121,6 +127,8 @@ func checkRegistration(pass *framework.Pass, call *ast.CallExpr, seen map[string
 	}
 	if !nameRe.MatchString(name) {
 		pass.Reportf(call.Args[0].Pos(), "metric name %q does not match ^[a-z][a-z0-9_]*$", name)
+	} else {
+		checkSuffix(pass, call, name)
 	}
 	if first, dup := seen[name]; dup {
 		pass.Reportf(call.Args[0].Pos(), "metric %q already registered at %s; each name must have exactly one registration site", name, posString(first))
@@ -148,6 +156,28 @@ func checkRegistration(pass *framework.Pass, call *ast.CallExpr, seen map[string
 			pass.Reportf(arg.Pos(), "duplicate label %q on metric %q", lv, name)
 		}
 		labelSeen[lv] = true
+	}
+}
+
+// histogramReserved are the suffixes a histogram base name may not carry:
+// the renderer appends _bucket, _sum and _count itself, and _total belongs
+// to counters.
+var histogramReserved = []string{"_bucket", "_sum", "_count", "_total"}
+
+// checkSuffix enforces the per-kind naming suffix, keyed off the
+// registration method's name (already known to be a registrar).
+func checkSuffix(pass *framework.Pass, call *ast.CallExpr, name string) {
+	switch call.Fun.(*ast.SelectorExpr).Sel.Name {
+	case "Counter", "CounterVec":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(call.Args[0].Pos(), "counter %q must end in _total (the Prometheus counter convention)", name)
+		}
+	case "Histogram", "HistogramVec":
+		for _, suf := range histogramReserved {
+			if strings.HasSuffix(name, suf) {
+				pass.Reportf(call.Args[0].Pos(), "histogram %q must not end in %s; the renderer appends _bucket, _sum and _count to the base name", name, suf)
+			}
+		}
 	}
 }
 

@@ -40,4 +40,14 @@ func register(r *Registry, dynamic string) {
 	r.CounterVec("wide_total", "too many", "a", "b", "c", "d") // want `metric "wide_total" declares 4 label dimensions`
 	r.CounterVec("dyn_label_total", "dynamic label", dynamic)  // want `label name of metric "dyn_label_total" must be a compile-time string constant`
 	r.HistogramVec("duration_seconds", "fine", nil, "scene")
+
+	// Kind suffixes: counters end _total; histogram base names stay clear
+	// of the suffixes the renderer appends.
+	r.Counter("jobs_done", "bad suffix")                            // want `counter "jobs_done" must end in _total`
+	r.CounterVec("forwards", "bad suffix", "peer")                  // want `counter "forwards" must end in _total`
+	r.Histogram("flush_count", "bad suffix", nil)                   // want `histogram "flush_count" must not end in _count`
+	r.HistogramVec("size_bucket", "bad suffix", nil, "scene")       // want `histogram "size_bucket" must not end in _bucket`
+	r.HistogramVec("wait_sum", "bad suffix", nil)                   // want `histogram "wait_sum" must not end in _sum`
+	r.HistogramVec("hops_total", "bad suffix", nil)                 // want `histogram "hops_total" must not end in _total`
+	r.HistogramVec("wide_seconds", "wide", nil, "a", "b", "c", "d") // want `metric "wide_seconds" declares 4 label dimensions`
 }

@@ -1,0 +1,12 @@
+package parshare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/parshare"
+)
+
+func TestParshare(t *testing.T) {
+	framework.RunTest(t, ".", parshare.Analyzer, "parshare")
+}

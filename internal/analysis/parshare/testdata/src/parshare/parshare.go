@@ -1,0 +1,143 @@
+// Package parshare exercises the parshare analyzer: worker closures may
+// write captured slices/maps only through worker-disjoint indices,
+// per-worker buffers, or under a mutex.
+package parshare
+
+import (
+	"context"
+	"sync"
+)
+
+// forEach mimics internal/par.ForEach: the last argument is the worker
+// closure receiving a worker-disjoint index. Testdata cannot import the
+// module, so the dispatcher shape is stubbed locally.
+func forEach(ctx context.Context, par, n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type result struct {
+	Value int
+	Name  string
+}
+
+func disjointWrites(ctx context.Context) ([]result, error) {
+	out := make([]result, 64)
+	err := forEach(ctx, 4, 64, func(i int) error {
+		local := i * 2 // locals are per-invocation, always fine
+		out[i] = result{Value: local}
+		out[i].Name = "ok" // field write behind a disjoint index
+		return nil
+	})
+	return out, err
+}
+
+func derivedIndex(ctx context.Context, chunk int) error {
+	out := make([]int, 1024)
+	return forEach(ctx, 4, 16, func(c int) error {
+		lo := c * chunk
+		hi := lo + chunk
+		for j := lo; j < hi; j++ {
+			out[j] = j // j is derived from the worker index through lo/hi
+		}
+		return nil
+	})
+}
+
+func sharedCounter(ctx context.Context) error {
+	total := 0
+	err := forEach(ctx, 4, 64, func(i int) error {
+		total += i // want `writes captured variable total`
+		return nil
+	})
+	_ = total
+	return err
+}
+
+func sharedAppend(ctx context.Context) error {
+	var all []int
+	err := forEach(ctx, 4, 64, func(i int) error {
+		all = append(all, i) // want `writes captured variable all`
+		return nil
+	})
+	_ = all
+	return err
+}
+
+func fixedSlot(ctx context.Context) error {
+	out := make([]int, 64)
+	return forEach(ctx, 4, 64, func(i int) error {
+		out[0] = i // want `does not depend on the worker index`
+		return nil
+	})
+}
+
+func mapUnlocked(ctx context.Context, names []string) error {
+	out := make(map[string]int)
+	return forEach(ctx, 4, len(names), func(i int) error {
+		out[names[i]] = i // want `writes captured map out`
+		return nil
+	})
+}
+
+func mapLocked(ctx context.Context, names []string) error {
+	out := make(map[string]int)
+	var mu sync.Mutex
+	return forEach(ctx, 4, len(names), func(i int) error {
+		v := i * i
+		mu.Lock()
+		out[names[i]] = v // mutex-guarded: safe
+		mu.Unlock()
+		return nil
+	})
+}
+
+func fieldOnShared(ctx context.Context) error {
+	var acc result
+	err := forEach(ctx, 4, 64, func(i int) error {
+		acc.Value = i // want `writes field Value of captured acc`
+		return nil
+	})
+	_ = acc
+	return err
+}
+
+func pointerStore(ctx context.Context, target *int) error {
+	return forEach(ctx, 4, 64, func(i int) error {
+		*target = i // want `stores through captured pointer target`
+		return nil
+	})
+}
+
+// notADispatch: same closure shape, but the callee is not a ForEach-style
+// driver — a plain sequential helper may fold into shared state freely.
+func apply(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func notADispatch() error {
+	total := 0
+	err := apply(64, func(i int) error {
+		total += i
+		return nil
+	})
+	_ = total
+	return err
+}
+
+func suppressedReduction(ctx context.Context) error {
+	sum := 0
+	return forEach(ctx, 1, 64, func(i int) error {
+		sum += i //texlint:ignore parshare single-worker dispatch, no concurrency
+		return nil
+	})
+}

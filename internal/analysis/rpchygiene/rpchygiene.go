@@ -1,0 +1,670 @@
+// Package rpchygiene enforces the cluster's RPC discipline on both sides
+// of the wire.
+//
+// Outbound (the peer-protocol client):
+//
+//   - every outbound HTTP request must carry a context deadline. A call to
+//     http.NewRequestWithContext — or to a package-local function that
+//     forwards its own context parameter into one (computed by fixpoint
+//     over the intra-package call graph) — must receive a context bound by
+//     context.WithTimeout/WithDeadline in the same function, or the
+//     function's own context parameter, in which case the obligation moves
+//     to its callers. An exported function that ships its caller's raw
+//     context is reported: peers outside the package cannot be audited, so
+//     the deadline must be applied internally. The deadline-less
+//     http.NewRequest/Get/Post/PostForm/Head are always reported.
+//   - every *http.Response assigned to a variable must be closed on all
+//     paths: a defer mentioning the response (defer resp.Body.Close(),
+//     defer drainClose(resp)) or a return transferring ownership. An
+//     inline close can be skipped by an early return added later; a defer
+//     cannot. A response discarded without any binding is reported.
+//
+// Inbound (handlers — any function with an http.ResponseWriter parameter):
+//
+//   - the response header is committed at most once per path. Commits are
+//     WriteHeader calls, net/http helpers (Error, NotFound, Redirect,
+//     ServeContent, ServeFile), and package-local helpers that transitively
+//     commit (writeJSON, writeError — found via the call graph). A Write
+//     also commits, implicitly. Path tracking is the same source-order
+//     approximation locksafe uses, so `if err { writeError; return }`
+//     guard clauses do not poison the fallthrough path.
+//   - handlers must not mint root contexts (context.Background/TODO):
+//     detaching from r.Context() drops the incoming traceparent and the
+//     client's cancellation.
+package rpchygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// Analyzer is the RPC-hygiene check.
+var Analyzer = &framework.Analyzer{
+	Name: "rpchygiene",
+	Doc: "outbound peer calls carry context deadlines and close resp.Body on all " +
+		"paths; handlers commit the response header once and keep the request context",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	senders := buildSenders(pass)
+	committers := buildCommitters(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDeadlines(pass, senders, fd)
+			checkBodyClose(pass, fd)
+		}
+		// Handlers may be declarations or literals (middleware closures).
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil && hasResponseWriterParam(pass, n.Type) {
+					checkHandler(pass, committers, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				if hasResponseWriterParam(pass, n.Type) {
+					checkHandler(pass, committers, n.Type, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- shared type predicates ----
+
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+func isNamed(t types.Type, pkg, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+func isResponsePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && isNamed(p.Elem(), "net/http", "Response")
+}
+
+// calleeInfo resolves a call to the *types.Func it statically invokes,
+// plus the receiver type name for method calls ("" for plain functions).
+func calleeInfo(pass *framework.Pass, call *ast.CallExpr) (fn *types.Func, recv string) {
+	var sel *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		sel = f
+	case *ast.SelectorExpr:
+		sel = f.Sel
+	default:
+		return nil, ""
+	}
+	fn, _ = pass.TypesInfo.Uses[sel].(*types.Func)
+	if fn == nil {
+		return nil, ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name()
+		} else if iface, ok := t.(*types.Interface); ok {
+			_ = iface // unnamed interface receiver: no name
+		}
+	}
+	return fn, recv
+}
+
+// ---- outbound deadline discipline ----
+
+// buildSenders computes, by fixpoint, the package-local functions that pass
+// their own context parameter (transitively) into an outbound request. The
+// value is the context argument's position at call sites.
+func buildSenders(pass *framework.Pass) map[*types.Func]int {
+	senders := make(map[*types.Func]int)
+	ctxIndex := func(call *ast.CallExpr) (int, bool) {
+		fn, _ := calleeInfo(pass, call)
+		if fn == nil {
+			return 0, false
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "NewRequestWithContext" {
+			return 0, true
+		}
+		if idx, ok := senders[fn]; ok {
+			return idx, true
+		}
+		return 0, false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, done := senders[fn]; done {
+					continue
+				}
+				ctxParams := ctxParamIndex(pass, fd.Type)
+				if len(ctxParams) == 0 {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					idx, isSender := ctxIndex(call)
+					if !isSender || idx >= len(call.Args) {
+						return true
+					}
+					id, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if pIdx, isParam := ctxParams[pass.ObjectOf(id)]; isParam {
+						if _, done := senders[fn]; !done {
+							senders[fn] = pIdx
+							changed = true
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return senders
+}
+
+// ctxParamIndex maps each context.Context parameter object of the function
+// type to its position in the parameter list.
+func ctxParamIndex(pass *framework.Pass, ft *ast.FuncType) map[types.Object]int {
+	out := make(map[types.Object]int)
+	if ft.Params == nil {
+		return out
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = i
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// ctxlessHTTPFuncs build requests or issue calls with no context at all.
+var ctxlessHTTPFuncs = map[string]bool{
+	"NewRequest": true, "Get": true, "Head": true, "Post": true, "PostForm": true,
+}
+
+func checkDeadlines(pass *framework.Pass, senders map[*types.Func]int, fd *ast.FuncDecl) {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn != nil && fn.Exported() {
+		if _, isSender := senders[fn]; isSender {
+			pass.Reportf(fd.Pos(), "exported %s sends peer requests with its caller's raw context; bound the call internally with context.WithTimeout so every outbound hop has a deadline", fd.Name.Name)
+		}
+	}
+	declParams := ctxParamIndex(pass, fd.Type)
+	bounded := boundedContexts(pass, fd.Body)
+	litParams := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			for obj := range ctxParamIndex(pass, n.Type) {
+				litParams[obj] = true
+			}
+		case *ast.CallExpr:
+			callee, recv := calleeInfo(pass, n)
+			if callee == nil {
+				return true
+			}
+			if callee.Pkg() != nil && callee.Pkg().Path() == "net/http" && recv == "" && ctxlessHTTPFuncs[callee.Name()] {
+				pass.Reportf(n.Pos(), "http.%s sends a request with no context at all; use http.NewRequestWithContext with a deadline-bound context", callee.Name())
+				return true
+			}
+			idx := -1
+			if callee.Pkg() != nil && callee.Pkg().Path() == "net/http" && callee.Name() == "NewRequestWithContext" {
+				idx = 0
+			} else if i, ok := senders[callee]; ok {
+				idx = i
+			}
+			if idx < 0 || idx >= len(n.Args) {
+				return true
+			}
+			arg := ast.Unparen(n.Args[idx])
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				pass.Reportf(arg.Pos(), "outbound request context is not provably deadline-bound; bind it to a context.WithTimeout result first")
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			switch {
+			case obj == nil:
+			case bounded[obj]:
+			case hasIndex(declParams, obj):
+				// The obligation moves to this function's callers (and to
+				// the exported-sender check above).
+			case litParams[obj]:
+				// A closure parameter: the dispatcher owns the context.
+			default:
+				pass.Reportf(arg.Pos(), "outbound request context %s has no deadline in this function; derive it with context.WithTimeout before the call", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func hasIndex(m map[types.Object]int, obj types.Object) bool {
+	_, ok := m[obj]
+	return ok
+}
+
+// boundedContexts collects locals assigned from context.WithTimeout or
+// context.WithDeadline.
+func boundedContexts(pass *framework.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := calleeInfo(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "WithTimeout" && fn.Name() != "WithDeadline" {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---- response body discipline ----
+
+func checkBodyClose(pass *framework.Pass, fd *ast.FuncDecl) {
+	type acq struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var acquired []acq
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for i, t := range resultTypes(pass, call) {
+				if !isResponsePtr(t) || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					pass.Reportf(n.Pos(), "response discarded without closing its body; bind it and defer a close/drain")
+					continue
+				}
+				if obj := pass.ObjectOf(id); obj != nil {
+					acquired = append(acquired, acq{obj, n.Pos()})
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				for _, t := range resultTypes(pass, call) {
+					if isResponsePtr(t) {
+						pass.Reportf(n.Pos(), "response discarded without closing its body; bind it and defer a close/drain")
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+	released := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			for _, a := range acquired {
+				if mentionsObj(pass, n.Call, a.obj) {
+					released[a.obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			// Only returning the response itself transfers ownership;
+			// returning an error built from resp.StatusCode does not.
+			for _, e := range n.Results {
+				id, ok := ast.Unparen(e).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				for _, a := range acquired {
+					if pass.TypesInfo.Uses[id] == a.obj {
+						released[a.obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, a := range acquired {
+		if !released[a.obj] {
+			pass.Reportf(a.pos, "response body %s is not closed on every path; defer a close/drain immediately after the error check (or return the response to transfer ownership)", a.obj.Name())
+		}
+	}
+}
+
+// resultTypes flattens a call's result types.
+func resultTypes(pass *framework.Pass, call *ast.CallExpr) []types.Type {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+func mentionsObj(pass *framework.Pass, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- handler-side discipline ----
+
+func hasResponseWriterParam(pass *framework.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil && isNamed(t, "net/http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// httpCommitFuncs are net/http package functions that write the header.
+var httpCommitFuncs = map[string]bool{
+	"Error": true, "NotFound": true, "Redirect": true,
+	"ServeContent": true, "ServeFile": true, "ServeFileFS": true,
+}
+
+// buildCommitters computes, by fixpoint, the package-local functions that
+// commit a response header (directly or through a callee).
+func buildCommitters(pass *framework.Pass) map[*types.Func]bool {
+	committers := make(map[*types.Func]bool)
+	commits := func(call *ast.CallExpr) bool {
+		fn, recv := calleeInfo(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if fn.Pkg().Path() == "net/http" {
+			if recv == "ResponseWriter" && fn.Name() == "WriteHeader" {
+				return true
+			}
+			if recv == "" && httpCommitFuncs[fn.Name()] {
+				return true
+			}
+		}
+		return committers[fn]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok || committers[fn] {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && commits(call) {
+						committers[fn] = true
+						changed = true
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return committers
+}
+
+// checkHandler walks one handler body in source order tracking whether the
+// response header has been committed, and reports a second commit. It also
+// reports root-context minting.
+func checkHandler(pass *framework.Pass, committers map[*types.Func]bool, ft *ast.FuncType, body *ast.BlockStmt) {
+	hw := &handlerWalker{pass: pass, committers: committers}
+	hw.stmts(body.List, false)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested handlers are checked on their own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := calleeInfo(pass, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+			(fn.Name() == "Background" || fn.Name() == "TODO") {
+			pass.Reportf(call.Pos(), "handler mints a root context with context.%s; derive from r.Context() so the incoming traceparent and cancellation survive", fn.Name())
+		}
+		return true
+	})
+}
+
+type handlerWalker struct {
+	pass       *framework.Pass
+	committers map[*types.Func]bool
+}
+
+// commitKind classifies a call: 0 none, 1 explicit header commit, 2
+// implicit (a body Write).
+func (h *handlerWalker) commitKind(call *ast.CallExpr) int {
+	fn, recv := calleeInfo(h.pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return 0
+	}
+	if fn.Pkg().Path() == "net/http" && recv == "ResponseWriter" {
+		switch fn.Name() {
+		case "WriteHeader":
+			return 1
+		case "Write":
+			return 2
+		}
+	}
+	if fn.Pkg().Path() == "net/http" && recv == "" && httpCommitFuncs[fn.Name()] {
+		return 1
+	}
+	if h.committers[fn] {
+		return 1
+	}
+	return 0
+}
+
+func (h *handlerWalker) stmts(list []ast.Stmt, committed bool) bool {
+	for _, s := range list {
+		committed = h.stmt(s, committed)
+	}
+	return committed
+}
+
+func (h *handlerWalker) stmt(s ast.Stmt, committed bool) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return h.stmts(s.List, committed)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			committed = h.stmt(s.Init, committed)
+		}
+		committed = h.scan(s.Cond, committed)
+		bodyC := h.stmts(s.Body.List, committed)
+		elseC := committed
+		if s.Else != nil {
+			elseC = h.stmt(s.Else, committed)
+		}
+		after := committed
+		if !terminates(s.Body.List) {
+			after = after || bodyC
+		}
+		if s.Else != nil {
+			var elseList []ast.Stmt
+			if b, ok := s.Else.(*ast.BlockStmt); ok {
+				elseList = b.List
+			}
+			if !terminates(elseList) {
+				after = after || elseC
+			}
+		}
+		return after
+	case *ast.ForStmt:
+		if s.Init != nil {
+			committed = h.stmt(s.Init, committed)
+		}
+		h.stmts(s.Body.List, committed)
+		return committed
+	case *ast.RangeStmt:
+		h.stmts(s.Body.List, committed)
+		return committed
+	case *ast.SwitchStmt:
+		after := committed
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				r := h.stmts(cc.Body, committed)
+				if !terminates(cc.Body) {
+					after = after || r
+				}
+			}
+		}
+		return after
+	case *ast.TypeSwitchStmt:
+		after := committed
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				r := h.stmts(cc.Body, committed)
+				if !terminates(cc.Body) {
+					after = after || r
+				}
+			}
+		}
+		return after
+	case *ast.SelectStmt:
+		after := committed
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				r := h.stmts(cc.Body, committed)
+				if !terminates(cc.Body) {
+					after = after || r
+				}
+			}
+		}
+		return after
+	case *ast.LabeledStmt:
+		return h.stmt(s.Stmt, committed)
+	default:
+		return h.scan(s, committed)
+	}
+}
+
+// scan visits a non-control statement (or expression) in source order,
+// updating and checking the committed state at each call.
+func (h *handlerWalker) scan(n ast.Node, committed bool) bool {
+	if n == nil {
+		return committed
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs elsewhere; checked as its own handler if shaped so
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch h.commitKind(call) {
+		case 1:
+			if committed {
+				h.pass.Reportf(call.Pos(), "handler commits the response header twice on this path; the header was already written above — restructure so each path commits once")
+			}
+			committed = true
+		case 2:
+			committed = true
+		}
+		return true
+	})
+	return committed
+}
+
+// terminates reports whether the statement list ends control flow.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package rpchygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/rpchygiene"
+)
+
+func TestRPCHygiene(t *testing.T) {
+	framework.RunTest(t, ".", rpchygiene.Analyzer, "rpc")
+}

@@ -1,0 +1,220 @@
+// Package rpc exercises the rpchygiene analyzer: outbound deadlines,
+// response-body lifecycles, and handler header discipline.
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+type client struct {
+	http *http.Client
+}
+
+// ---- outbound deadline discipline ----
+
+func (c *client) boundedCall(ctx context.Context, url string) error {
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+func (c *client) rawContextCall(url string) error {
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, url, nil) // want `not provably deadline-bound`
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+func (c *client) unboundedLocal(ctx context.Context, url string) error {
+	detached := context.WithoutCancel(ctx)
+	req, err := http.NewRequestWithContext(detached, http.MethodGet, url, nil) // want `has no deadline in this function`
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+func noContextAtAll(url string) error {
+	resp, err := http.Get(url) // want `no context at all`
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// do forwards its context parameter into the request: the deadline
+// obligation moves to its callers (it is unexported, so that is fine).
+func (c *client) do(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.http.Do(req)
+}
+
+// goodCaller bounds the context before handing it to the sender helper.
+func (c *client) goodCaller(ctx context.Context, url string) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	resp, err := c.do(cctx, url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// badCaller hands the sender helper an unbounded root context.
+func (c *client) badCaller(url string) error {
+	ctx := context.Background()
+	resp, err := c.do(ctx, url) // want `has no deadline in this function`
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// Fetch is exported and forwards its raw context into the transport
+// (transitively, through do): callers outside the package cannot be
+// audited, so the deadline must be applied here.
+func (c *client) Fetch(ctx context.Context, url string) error { // want `exported Fetch sends peer requests`
+	resp, err := c.do(ctx, url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return nil
+}
+
+// ---- response body discipline ----
+
+func (c *client) inlineClose(ctx context.Context, url string) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	resp, err := c.do(cctx, url) // want `not closed on every path`
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	resp.Body.Close() // inline: skipped by the early return above
+	return nil
+}
+
+func (c *client) discarded(ctx context.Context, url string) {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	c.do(cctx, url) // want `response discarded without closing its body`
+}
+
+// transfer returns the response: ownership moves to the caller.
+func (c *client) transfer(ctx context.Context, url string) (*http.Response, error) {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	resp, err := c.do(cctx, url)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *client) deferredHelper(ctx context.Context, url string) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	resp, err := c.do(cctx, url)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// ---- handler-side discipline ----
+
+func writeJSON(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	io.WriteString(w, body)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, fmt.Sprintf("{\"error\":%q}", err.Error()))
+}
+
+func guardedHandler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("id") == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing id"))
+		return
+	}
+	if r.Method != http.MethodGet {
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, "{}")
+}
+
+func doubleCommit(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("id") == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing id"))
+		// missing return: the fallthrough path commits again
+	}
+	writeJSON(w, http.StatusOK, "{}") // want `commits the response header twice`
+}
+
+func writeThenHeader(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("hello"))
+	w.WriteHeader(http.StatusOK) // want `commits the response header twice`
+}
+
+func branchesCommitOnce(w http.ResponseWriter, r *http.Request, ok bool) {
+	if ok {
+		writeJSON(w, http.StatusOK, "{}")
+	} else {
+		writeError(w, http.StatusNotFound, fmt.Errorf("missing"))
+	}
+}
+
+func rootContextHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `mints a root context`
+	_ = ctx
+	writeJSON(w, http.StatusOK, "{}")
+}
+
+func requestContextHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	writeJSON(w, http.StatusOK, "{}")
+}

@@ -112,14 +112,16 @@ func drainClose(resp *http.Response) {
 // peer had no capacity; other errors mean the peer is unreachable or
 // rejected the request outright.
 func (c *Cluster) ForwardJob(ctx context.Context, addr string, body []byte) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/api/v1/jobs", bytes.NewReader(body))
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, addr+"/api/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(RoutedHeader, "1")
 	req.Header.Set(PeerHeader, c.Self())
-	tracing.Inject(ctx, req.Header)
+	tracing.Inject(fctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return "", err
@@ -145,7 +147,9 @@ func (c *Cluster) ForwardJob(ctx context.Context, addr string, body []byte) (str
 // JobStatus polls one remote job. ErrRemoteJobLost means the peer no
 // longer knows the job.
 func (c *Cluster) JobStatus(ctx context.Context, addr, id string) (RemoteJob, error) {
-	resp, err := c.do(ctx, http.MethodGet, addr+"/api/v1/jobs/"+id, nil)
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.do(sctx, http.MethodGet, addr+"/api/v1/jobs/"+id, nil)
 	if err != nil {
 		return RemoteJob{}, err
 	}
@@ -166,7 +170,9 @@ func (c *Cluster) JobStatus(ctx context.Context, addr, id string) (RemoteJob, er
 
 // JobResult fetches a done remote job's result payload.
 func (c *Cluster) JobResult(ctx context.Context, addr, id string) ([]byte, error) {
-	resp, err := c.do(ctx, http.MethodGet, addr+"/api/v1/jobs/"+id+"/result", nil)
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.do(rctx, http.MethodGet, addr+"/api/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -182,11 +188,13 @@ func (c *Cluster) JobResult(ctx context.Context, addr, id string) ([]byte, error
 
 // CancelJob cancels a remote job, best effort.
 func (c *Cluster) CancelJob(ctx context.Context, addr, id string) error {
-	resp, err := c.do(ctx, http.MethodDelete, addr+"/api/v1/jobs/"+id, nil)
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.do(cctx, http.MethodDelete, addr+"/api/v1/jobs/"+id, nil)
 	if err != nil {
 		return err
 	}
-	drainClose(resp)
+	defer drainClose(resp)
 	return nil
 }
 
@@ -219,7 +227,9 @@ func (c *Cluster) FetchCached(ctx context.Context, addr, key string) ([]byte, bo
 // handoff that keeps results landing in the right cache when a non-owner
 // node ends up simulating (failover and stolen runs). Best effort.
 func (c *Cluster) PushCached(ctx context.Context, addr, key string, val []byte) error {
-	resp, err := c.do(ctx, http.MethodPut, addr+"/api/v1/cluster/cache/"+key, val)
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.do(pctx, http.MethodPut, addr+"/api/v1/cluster/cache/"+key, val)
 	if err != nil {
 		return err
 	}
@@ -264,7 +274,9 @@ func (c *Cluster) Complete(ctx context.Context, addr string, comp Completion) (a
 	if err != nil {
 		return false, err
 	}
-	resp, err := c.do(ctx, http.MethodPost, addr+"/api/v1/cluster/complete", body)
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.do(cctx, http.MethodPost, addr+"/api/v1/cluster/complete", body)
 	if err != nil {
 		return false, err
 	}

@@ -37,6 +37,11 @@ type Config struct {
 	// ProbeTimeout bounds one health probe or federated cache fetch
 	// (0 = 2s).
 	ProbeTimeout time.Duration
+	// CallTimeout bounds every other peer call — forwards, status polls,
+	// result fetches, completions, cache pushes (0 = 10s). Every outbound
+	// hop carries a deadline so a hung peer can never pin a supervision
+	// goroutine past it.
+	CallTimeout time.Duration
 	// HealthInterval is the steady-state probe period for healthy peers
 	// (0 = 5s).
 	HealthInterval time.Duration
@@ -69,7 +74,11 @@ type Cluster struct {
 	client *http.Client
 	logger *slog.Logger
 
-	mu    sync.Mutex
+	// mu is a read/write lock: the peer table is read on every routing
+	// decision (Alive, IsAlive, Owner lookups) and written only by probes,
+	// reports and SetPeers, so readers take RLock and never block each
+	// other.
+	mu    sync.RWMutex
 	self  string
 	peers map[string]*peer
 
@@ -90,6 +99,9 @@ type Cluster struct {
 func New(cfg Config) *Cluster {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
 	}
 	if cfg.HealthInterval <= 0 {
 		cfg.HealthInterval = 5 * time.Second
@@ -174,15 +186,15 @@ func (c *Cluster) SetPeers(self string, peers []string) {
 
 // Self returns the advertised address of this node.
 func (c *Cluster) Self() string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.self
 }
 
 // Members returns every configured member (self included), sorted.
 func (c *Cluster) Members() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.peers)+1)
 	if c.self != "" {
 		out = append(out, c.self)
@@ -197,8 +209,8 @@ func (c *Cluster) Members() []string {
 // Alive returns the members currently routable (self plus healthy peers),
 // sorted. Self is always alive from its own point of view.
 func (c *Cluster) Alive() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.peers)+1)
 	if c.self != "" {
 		out = append(out, c.self)
@@ -214,8 +226,8 @@ func (c *Cluster) Alive() []string {
 
 // AlivePeers returns the healthy remote peers (self excluded), sorted.
 func (c *Cluster) AlivePeers() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.peers))
 	for a, p := range c.peers {
 		if p.up {
@@ -230,8 +242,8 @@ func (c *Cluster) AlivePeers() []string {
 // always alive.
 func (c *Cluster) IsAlive(addr string) bool {
 	addr = normalizeAddr(addr)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if addr == c.self {
 		return true
 	}
@@ -252,7 +264,7 @@ type PeerStatus struct {
 // Peers returns a snapshot of every remote member's health, sorted by
 // address.
 func (c *Cluster) Peers() []PeerStatus {
-	c.mu.Lock()
+	c.mu.RLock()
 	out := make([]PeerStatus, 0, len(c.peers))
 	for _, p := range c.peers {
 		st := PeerStatus{
@@ -267,7 +279,7 @@ func (c *Cluster) Peers() []PeerStatus {
 		}
 		out = append(out, st)
 	}
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
@@ -337,13 +349,13 @@ func (c *Cluster) CountFailover() { c.mFailovers.Inc() }
 
 // refreshPeersUp recomputes the peers-up gauge.
 func (c *Cluster) refreshPeersUp() {
-	c.mu.Lock()
+	c.mu.RLock()
 	n := 0
 	for _, p := range c.peers {
 		if p.up {
 			n++
 		}
 	}
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	c.mPeersUp.Set(float64(n))
 }

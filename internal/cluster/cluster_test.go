@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -240,5 +241,65 @@ func TestOwnershipSharesSumToOne(t *testing.T) {
 	}
 	if len(shares) != 3 {
 		t.Fatalf("ownership covers %d members, want 3", len(shares))
+	}
+}
+
+// A hung peer must not hang the caller: every non-probe peer call is
+// bounded by Config.CallTimeout even when the caller's context has no
+// deadline of its own. Regression test for the rpchygiene finding that
+// exported client methods forwarded the caller's raw context.
+func TestCallTimeoutBoundsHungPeer(t *testing.T) {
+	stall := make(chan struct{})
+	defer close(stall)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-stall:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	c := New(Config{Metrics: metrics.NewRegistry(), CallTimeout: 50 * time.Millisecond})
+	c.SetPeers("http://self:1", []string{ts.URL})
+
+	start := time.Now()
+	_, err := c.JobStatus(context.Background(), ts.URL, "job-1")
+	if err == nil {
+		t.Fatal("JobStatus against a hung peer returned nil error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("JobStatus took %v against a hung peer, want ~CallTimeout (50ms)", elapsed)
+	}
+}
+
+// probe must drain and close the response body so the keep-alive
+// connection is reused; a leaked body forces a new TCP connection per
+// probe. Regression test for the rpchygiene finding that probe closed
+// the body without draining it (and not via defer).
+func TestProbeReusesConnection(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A non-empty body: without a drain before Close, the transport
+		// cannot return this connection to the idle pool.
+		fmt.Fprintln(w, `{"status":"ok","padding":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`)
+	}))
+	ts.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	c := New(Config{Metrics: metrics.NewRegistry()})
+	c.SetPeers("http://self:1", []string{ts.URL})
+
+	for i := 0; i < 3; i++ {
+		if err := c.probe(context.Background(), ts.URL); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Fatalf("3 probes opened %d connections, want 1 (body not drained/closed?)", got)
 	}
 }

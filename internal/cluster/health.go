@@ -45,14 +45,14 @@ func (c *Cluster) healthLoop(ctx context.Context) {
 // /cluster to reflect a fresh view.
 func (c *Cluster) ProbeNow(ctx context.Context) {
 	now := time.Now()
-	c.mu.Lock()
+	c.mu.RLock()
 	var due []string
 	for a, p := range c.peers {
 		if !p.nextProbe.After(now) {
 			due = append(due, a)
 		}
 	}
-	c.mu.Unlock()
+	c.mu.RUnlock()
 
 	var wg sync.WaitGroup
 	for _, addr := range due {
@@ -87,7 +87,7 @@ func (c *Cluster) probe(ctx context.Context, addr string) error {
 	if err != nil {
 		return err
 	}
-	resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("healthz returned %d", resp.StatusCode)
 	}
