@@ -73,10 +73,12 @@ func suite() []scoped {
 		{metriclint.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/") }},
 		{goleak.Analyzer, func(p string) bool {
 			// The layers whose goroutines must drain on SIGTERM or peer
-			// death: the job service, the cluster plane, and the sweep
-			// engine that fans work out under them.
+			// death: the job service, the cluster plane, the sweep engine
+			// that fans work out under them, and the ops plane (progress
+			// broker subscribers, metrics sampler loop).
 			return p == "repro/internal/service" || p == "repro/internal/cluster" ||
-				p == "repro/internal/sweep"
+				p == "repro/internal/sweep" || p == "repro/internal/telemetry/progress" ||
+				p == "repro/internal/metrics"
 		}},
 		{parshare.Analyzer, func(p string) bool { return strings.HasPrefix(p, "repro/") }},
 		{rpchygiene.Analyzer, func(p string) bool {

@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
@@ -75,6 +76,9 @@ func main() {
 		logFormat    = flag.String("log-format", "json", "log format: json or text")
 		debugAddr    = flag.String("debug-addr", "", "private listen address for pprof and trace debugging (empty = disabled)")
 		spanCap      = flag.Int("trace-spans", 0, "finished spans retained for /debug/traces (0 = default)")
+		sampleEvery  = flag.Duration("sample-interval", 0, "metrics time-series sampling period for /api/v1/metrics/query (0 = default 5s, negative = off)")
+		samplePoints = flag.Int("sample-points", 0, "ring capacity per sampled series (0 = default 512)")
+		version      = flag.Bool("version", false, "print version information and exit")
 
 		peers          = flag.String("peers", "", "comma-separated peer addresses (host:port or URL); empty = single-node")
 		self           = flag.String("self", "", "this node's address as peers reach it (required with -peers)")
@@ -83,6 +87,12 @@ func main() {
 		leaseTimeout   = flag.Duration("lease-timeout", 60*time.Second, "stolen-job lease before the origin re-queues it")
 	)
 	flag.Parse()
+
+	if *version {
+		bi := buildinfo.Read()
+		fmt.Printf("texsimd %s (commit %s, %s)\n", bi.Version, bi.Commit, bi.Go)
+		return
+	}
 
 	if *workers < 0 {
 		cliutil.Usage("texsimd", fmt.Sprintf("-workers %d must be non-negative", *workers))
@@ -113,6 +123,9 @@ func main() {
 	}
 	if *leaseTimeout <= 0 {
 		cliutil.Usage("texsimd", fmt.Sprintf("-lease-timeout %v must be positive", *leaseTimeout))
+	}
+	if *samplePoints < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-sample-points %d must be non-negative", *samplePoints))
 	}
 
 	level, err := logging.ParseLevel(*logLevel)
@@ -162,6 +175,8 @@ func main() {
 		Cluster:         cl,
 		LeaseTimeout:    *leaseTimeout,
 		StealInterval:   *stealInterval,
+		SampleInterval:  *sampleEvery,
+		SamplePoints:    *samplePoints,
 	})
 	cliutil.Check("texsimd", err)
 

@@ -24,7 +24,16 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/sweep"
+	"repro/internal/telemetry/progress"
 )
+
+// cacheMark annotates a -progress line for a row served without simulating.
+func cacheMark(hit bool) string {
+	if hit {
+		return " (cache)"
+	}
+	return ""
+}
 
 func main() {
 	var (
@@ -42,6 +51,7 @@ func main() {
 		outPath   = flag.String("o", "", "output file (default stdout)")
 		flightDir = flag.String("flight", "", "record per-node phase timelines and write one Chrome trace-event JSON file per configuration into this directory (load in Perfetto)")
 		flightInt = flag.Float64("flight-interval", 0, "flight recorder bucket width in cycles (0 = auto)")
+		progFlag  = flag.Bool("progress", false, "print each configuration's completion to stderr as the sweep runs")
 	)
 	flag.Parse()
 
@@ -87,10 +97,46 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	res, err := sweep.RunWith(ctx, spec, sweep.RunOpts{
+	opts := sweep.RunOpts{
 		Parallelism:     *par,
 		NodeParallelism: *nodePar,
-	})
+	}
+
+	// -progress rides the same broker the texsimd SSE endpoint uses: the
+	// engine publishes once, and a local goroutine prints each row event to
+	// stderr as it lands.
+	finishProgress := func(error) {}
+	if *progFlag {
+		b := progress.NewBroker()
+		opts.Progress = progress.NewSink(b, "sweep")
+		sub := b.Subscribe("sweep", 0)
+		printed := make(chan struct{})
+		go func() {
+			defer close(printed)
+			for {
+				ev, ok := sub.Next(context.Background())
+				if !ok || ev.Terminal() {
+					return
+				}
+				fmt.Fprintf(os.Stderr, "texsweep: row %d/%d %s w%d p%d cycles=%.0f frags=%d%s %.2fs\n",
+					ev.Row+1, ev.Total, spec.Dist, ev.Size, ev.Procs,
+					ev.Cycles, ev.Frags, cacheMark(ev.CacheHit), ev.WallSeconds)
+			}
+		}()
+		// Terminate the stream before cliutil.Check can exit, and wait for
+		// the printer so no row line is lost.
+		finishProgress = func(err error) {
+			if err != nil {
+				b.End("sweep", "failed", err.Error())
+			} else {
+				b.End("sweep", "done", "")
+			}
+			<-printed
+		}
+	}
+
+	res, err := sweep.RunWith(ctx, spec, opts)
+	finishProgress(err)
 	cliutil.Check("texsweep", err)
 
 	if *flightDir != "" {

@@ -1,7 +1,7 @@
 // Package metriclint checks metric registrations against Prometheus
 // conventions, statically. It matches calls to the registration methods of
 // any type named Registry — Counter, Gauge, Histogram, CounterVec,
-// HistogramVec, the shape of internal/metrics — and enforces:
+// GaugeVec, HistogramVec, the shape of internal/metrics — and enforces:
 //
 //   - the metric name is a compile-time string constant (names assembled at
 //     runtime defeat grepping a scrape for its source and can explode
@@ -58,6 +58,7 @@ var registrars = map[string]int{
 	"Gauge":        -1,
 	"Histogram":    -1,
 	"CounterVec":   2,
+	"GaugeVec":     2,
 	"HistogramVec": 3,
 }
 

@@ -8,6 +8,7 @@ type Counter struct{}
 type Gauge struct{}
 type Histogram struct{}
 type CounterVec struct{}
+type GaugeVec struct{}
 type HistogramVec struct{}
 
 type Registry struct{}
@@ -19,6 +20,9 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 }
 func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return &CounterVec{}
+}
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{}
 }
 func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
 	return &HistogramVec{}
@@ -40,6 +44,11 @@ func register(r *Registry, dynamic string) {
 	r.CounterVec("wide_total", "too many", "a", "b", "c", "d") // want `metric "wide_total" declares 4 label dimensions`
 	r.CounterVec("dyn_label_total", "dynamic label", dynamic)  // want `label name of metric "dyn_label_total" must be a compile-time string constant`
 	r.HistogramVec("duration_seconds", "fine", nil, "scene")
+	r.GaugeVec("build_info", "fine", "version", "commit", "go")
+	r.GaugeVec("Build-Info", "bad name")                     // want `metric name "Build-Info" does not match`
+	r.GaugeVec("bad_gauge_label", "bad label", "Version")    // want `label name "Version" of metric "bad_gauge_label" does not match`
+	r.GaugeVec("wide_gauge", "too many", "a", "b", "c", "d") // want `metric "wide_gauge" declares 4 label dimensions`
+	r.GaugeVec("dyn_gauge_label", "dynamic label", dynamic)  // want `label name of metric "dyn_gauge_label" must be a compile-time string constant`
 
 	// Kind suffixes: counters end _total; histogram base names stay clear
 	// of the suffixes the renderer appends.

@@ -1,0 +1,59 @@
+// Package buildinfo reads the binary's own build metadata from the Go
+// build-info section — module version, VCS revision, toolchain — for the
+// texsimd_build_info gauge and the -version flags. No linker flags needed:
+// the data is what `go build` already embeds.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build metadata exposed on metrics and -version output.
+type Info struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// working-tree build, a semver tag for a released module build).
+	Version string
+	// Commit is the VCS revision the binary was built from, truncated to
+	// 12 hex digits, with a "-dirty" suffix for modified working trees;
+	// "unknown" when the build carried no VCS stamp (e.g. go test binaries).
+	Commit string
+	// Go is the toolchain version that built the binary.
+	Go string
+}
+
+// Read returns the running binary's build metadata. Every field is always
+// non-empty.
+func Read() Info {
+	info := Info{Version: "unknown", Commit: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.Go = bi.GoVersion
+	}
+	var revision string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "-dirty"
+		}
+		info.Commit = revision
+	}
+	return info
+}

@@ -1,0 +1,19 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	// Fields degrade to "unknown" rather than empty strings, so metric
+	// labels and -version output always carry a value.
+	bi := Read()
+	if bi.Version == "" || bi.Commit == "" || bi.Go == "" {
+		t.Fatalf("Read() = %+v; no field may be empty", bi)
+	}
+	// The test binary is built by the go tool, so the Go version is real.
+	if !strings.HasPrefix(bi.Go, "go") {
+		t.Fatalf("Go = %q, want a goX.Y version string", bi.Go)
+	}
+}

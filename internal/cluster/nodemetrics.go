@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// NodeMetrics is one node's operational snapshot, the unit the fleet view
+// (GET /cluster/metrics) merges across peers. The type lives here — not in
+// internal/service — because both sides of the peer protocol need it and
+// service already imports cluster.
+type NodeMetrics struct {
+	// Addr is the node's advertised cluster address ("" outside a cluster).
+	Addr string `json:"addr"`
+	// Queued and Running are the node's job-table states right now;
+	// Workers and QueueDepth are its static capacity.
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Result-cache counters (see resultcache.Stats) plus the derived hit
+	// ratio: hits+remote hits over all lookups, 0 when none yet.
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheRemoteHits uint64  `json:"cache_remote_hits"`
+	CacheEvictions  uint64  `json:"cache_evictions"`
+	CacheEntries    int     `json:"cache_entries"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	// SimulatedCycles and CyclesPerSecond are the node's throughput: total
+	// simulated time delivered, and that total over busy wall time.
+	SimulatedCycles float64 `json:"simulated_cycles"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+	// ProgressEvents counts progress events published on this node.
+	ProgressEvents int64 `json:"progress_events"`
+	// Cluster carries the node's forward/steal/failover counters; nil when
+	// the node runs standalone.
+	Cluster *Stats `json:"cluster,omitempty"`
+}
+
+// FetchNodeMetrics asks one peer for its NodeMetrics snapshot, bounded by
+// Config.CallTimeout.
+func (c *Cluster) FetchNodeMetrics(ctx context.Context, addr string) (NodeMetrics, error) {
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.do(fctx, http.MethodGet, addr+"/api/v1/cluster/nodemetrics", nil)
+	if err != nil {
+		return NodeMetrics{}, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		return NodeMetrics{}, fmt.Errorf("node metrics from %s returned %d", addr, resp.StatusCode)
+	}
+	var nm NodeMetrics
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxPeerBody)).Decode(&nm); err != nil {
+		return NodeMetrics{}, fmt.Errorf("decoding node metrics: %w", err)
+	}
+	return nm, nil
+}

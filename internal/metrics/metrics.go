@@ -17,6 +17,10 @@ import (
 	"sync/atomic"
 )
 
+// ContentType is the HTTP Content-Type of the Prometheus text exposition
+// format WritePrometheus renders (version 0.0.4).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
 // Counter is a monotonically increasing value.
 type Counter struct {
 	v atomic.Int64
@@ -231,6 +235,26 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(ls, func() any { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a gauge family with one label dimension set.
+type GaugeVec struct {
+	f      *family
+	labels []string
+}
+
+// GaugeVec returns a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, kindGauge, nil), labels: labelNames}
+}
+
+// With returns the gauge for the given label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", v.f.name, len(v.labels), len(values)))
+	}
+	ls := labelString(v.labels, values)
+	return v.f.child(ls, func() any { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a histogram family with one label dimension set.
 type HistogramVec struct {
 	f      *family
@@ -310,6 +334,52 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Sample is one scalar series value at snapshot time: a counter's count, a
+// gauge's value, or a histogram's _count/_sum derivative (buckets are not
+// sampled — the ring sampler retains scalar series only).
+type Sample struct {
+	Name   string
+	Labels string // rendered `k="v",...` pairs, "" when unlabelled
+	Value  float64
+}
+
+// Snapshot walks every registered family and returns the current value of
+// each scalar series, in registration order with children in sorted label
+// order — the feed for the time-series Sampler.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	for i, n := range r.order {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	for _, f := range fams {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		sort.Strings(order)
+		children := make([]any, len(order))
+		for i, ls := range order {
+			children[i] = f.children[ls]
+		}
+		f.mu.Unlock()
+		for i, ls := range order {
+			switch c := children[i].(type) {
+			case *Counter:
+				out = append(out, Sample{Name: f.name, Labels: ls, Value: float64(c.Value())})
+			case *Gauge:
+				out = append(out, Sample{Name: f.name, Labels: ls, Value: c.Value()})
+			case *Histogram:
+				out = append(out,
+					Sample{Name: f.name + "_count", Labels: ls, Value: float64(c.Count())},
+					Sample{Name: f.name + "_sum", Labels: ls, Value: c.Sum()})
+			}
+		}
+	}
+	return out
 }
 
 func writeChild(w io.Writer, f *family, labels string, child any) error {

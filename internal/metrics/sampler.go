@@ -1,0 +1,147 @@
+// The time-series half of the metrics package: a fixed-memory ring sampler
+// that periodically snapshots every scalar series in a Registry so the
+// query endpoint (/api/v1/metrics/query) and the /debug/dash sparklines can
+// show recent history without an external TSDB.
+
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point is one sampled value: unix-millisecond timestamp and value.
+type Point struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// Series is one scalar series' retained window, oldest point first.
+type Series struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Points []Point `json:"points"`
+}
+
+// ring is a fixed-capacity circular buffer of points.
+type ring struct {
+	name, labels string
+	pts          []Point
+	head         int // next write slot
+	n            int // points stored (≤ cap)
+}
+
+func (r *ring) push(p Point) {
+	r.pts[r.head] = p
+	r.head = (r.head + 1) % len(r.pts)
+	if r.n < len(r.pts) {
+		r.n++
+	}
+}
+
+// window returns the stored points oldest-first, dropping those at or
+// before `since` (zero = everything).
+func (r *ring) window(since int64) []Point {
+	out := make([]Point, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.pts)
+	}
+	for i := 0; i < r.n; i++ {
+		p := r.pts[(start+i)%len(r.pts)]
+		if since != 0 && p.T <= since {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Sampler retains a bounded history of every scalar series in a Registry.
+//
+// Memory bound: one ring of `capacity` Points (16 bytes each) per distinct
+// series, and series cardinality is itself bounded by metriclint's label
+// rules — so total retention is O(series × capacity) and independent of
+// uptime. Series are never evicted: a series that stops being reported
+// keeps its last window (its staleness is visible in the timestamps).
+type Sampler struct {
+	reg *Registry
+	cap int
+
+	mu    sync.Mutex
+	rings map[string]*ring // name + "\xff" + labels
+}
+
+// NewSampler returns a sampler retaining `capacity` points per series
+// (minimum 2 — a sparkline needs a segment).
+func NewSampler(reg *Registry, capacity int) *Sampler {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Sampler{reg: reg, cap: capacity, rings: make(map[string]*ring)}
+}
+
+// Sample snapshots every registered scalar series now. The caller owns the
+// cadence (the service runs it on a ticker goroutine anchored on its
+// lifecycle context).
+func (s *Sampler) Sample() { s.sampleAt(time.Now()) }
+
+func (s *Sampler) sampleAt(now time.Time) {
+	samples := s.reg.Snapshot()
+	t := now.UnixMilli()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sm := range samples {
+		k := sm.Name + "\xff" + sm.Labels
+		rg, ok := s.rings[k]
+		if !ok {
+			rg = &ring{name: sm.Name, labels: sm.Labels, pts: make([]Point, s.cap)}
+			s.rings[k] = rg
+		}
+		rg.push(Point{T: t, V: sm.Value})
+	}
+}
+
+// Capacity returns the per-series point bound.
+func (s *Sampler) Capacity() int { return s.cap }
+
+// Names returns the distinct sampled series names, sorted.
+func (s *Sampler) Names() []string {
+	s.mu.Lock()
+	set := make(map[string]bool, len(s.rings))
+	for _, rg := range s.rings {
+		set[rg.name] = true
+	}
+	s.mu.Unlock()
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query returns every labelled series under `name` with points strictly
+// after `since` (zero time = the whole retained window), sorted by label
+// string. An unknown name yields an empty slice.
+func (s *Sampler) Query(name string, since time.Time) []Series {
+	var cutoff int64
+	if !since.IsZero() {
+		cutoff = since.UnixMilli()
+	}
+	s.mu.Lock()
+	matched := make([]*ring, 0, 4)
+	for _, rg := range s.rings {
+		if rg.name == name {
+			matched = append(matched, rg)
+		}
+	}
+	out := make([]Series, 0, len(matched))
+	for _, rg := range matched {
+		out = append(out, Series{Name: rg.name, Labels: rg.labels, Points: rg.window(cutoff)})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels < out[j].Labels })
+	return out
+}

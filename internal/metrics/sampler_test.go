@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// at builds the fake clock the sampler tests drive sampleAt with.
+func at(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func TestSamplerRetainsHistory(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "requests")
+	g := reg.Gauge("queue_depth", "depth")
+	s := NewSampler(reg, 8)
+
+	for i := 1; i <= 3; i++ {
+		c.Inc()
+		g.Set(float64(10 * i))
+		s.sampleAt(at(int64(i)))
+	}
+
+	got := s.Query("requests_total", time.Time{})
+	if len(got) != 1 {
+		t.Fatalf("requests_total has %d series, want 1", len(got))
+	}
+	pts := got[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("retained %d points, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if p.T != int64(i+1)*1000 || p.V != float64(i+1) {
+			t.Fatalf("point %d = %+v, want t=%dms v=%d (oldest first)", i, p, (i+1)*1000, i+1)
+		}
+	}
+	if g2 := s.Query("queue_depth", time.Time{}); len(g2) != 1 || g2[0].Points[2].V != 30 {
+		t.Fatalf("queue_depth = %+v, want last value 30", g2)
+	}
+}
+
+func TestSamplerRingWrap(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks_total", "ticks")
+	s := NewSampler(reg, 4)
+	if s.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", s.Capacity())
+	}
+
+	for i := 1; i <= 10; i++ {
+		c.Inc()
+		s.sampleAt(at(int64(i)))
+	}
+	pts := s.Query("ticks_total", time.Time{})[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want the ring capacity 4", len(pts))
+	}
+	// Only the newest 4 samples survive, oldest first.
+	for i, p := range pts {
+		want := float64(7 + i)
+		if p.V != want {
+			t.Fatalf("point %d = %+v, want v=%v after wrap", i, p, want)
+		}
+	}
+}
+
+func TestSamplerSinceFilter(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ticks_total", "ticks")
+	s := NewSampler(reg, 8)
+	for i := 1; i <= 5; i++ {
+		c.Inc()
+		s.sampleAt(at(int64(i)))
+	}
+	// since is exclusive: the point at t=3 is dropped, 4 and 5 survive.
+	pts := s.Query("ticks_total", at(3))[0].Points
+	if len(pts) != 2 || pts[0].V != 4 || pts[1].V != 5 {
+		t.Fatalf("since t=3 returned %+v, want points at t=4,5", pts)
+	}
+	if pts := s.Query("ticks_total", at(99))[0].Points; len(pts) != 0 {
+		t.Fatalf("future since returned %d points, want 0", len(pts))
+	}
+}
+
+func TestSamplerNamesAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "b")
+	h := reg.Histogram("wait_seconds", "wait", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	s := NewSampler(reg, 4)
+	s.sampleAt(at(1))
+
+	names := s.Names()
+	want := []string{"b_total", "wait_seconds_count", "wait_seconds_sum"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v (sorted, histograms as _count/_sum)", names, want)
+		}
+	}
+	if pts := s.Query("wait_seconds_count", time.Time{})[0].Points; pts[0].V != 2 {
+		t.Fatalf("wait_seconds_count = %+v, want 2 observations", pts)
+	}
+	if pts := s.Query("wait_seconds_sum", time.Time{})[0].Points; pts[0].V != 5.5 {
+		t.Fatalf("wait_seconds_sum = %+v, want 5.5", pts)
+	}
+}
+
+func TestSamplerLabelledSeries(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.CounterVec("jobs_total", "jobs", "status")
+	vec.With("done").Add(3)
+	vec.With("failed").Inc()
+	s := NewSampler(reg, 4)
+	s.sampleAt(at(1))
+
+	got := s.Query("jobs_total", time.Time{})
+	if len(got) != 2 {
+		t.Fatalf("jobs_total has %d series, want one per label set", len(got))
+	}
+	// Sorted by label string: done before failed.
+	if got[0].Labels >= got[1].Labels {
+		t.Fatalf("series not sorted by labels: %q then %q", got[0].Labels, got[1].Labels)
+	}
+	if got[0].Points[0].V != 3 || got[1].Points[0].V != 1 {
+		t.Fatalf("labelled values = %v/%v, want 3/1", got[0].Points[0].V, got[1].Points[0].V)
+	}
+
+	if got := s.Query("no_such_series", time.Time{}); len(got) != 0 {
+		t.Fatalf("unknown name returned %d series, want 0", len(got))
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.GaugeVec("build_info", "build metadata", "version", "commit", "go")
+	vec.With("v1", "abc", "go1.22").Set(1)
+
+	samples := reg.Snapshot()
+	found := false
+	for _, sm := range samples {
+		if sm.Name == "build_info" {
+			found = true
+			if sm.Value != 1 {
+				t.Fatalf("build_info = %v, want 1", sm.Value)
+			}
+			if sm.Labels == "" {
+				t.Fatal("build_info sample missing its labels")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("build_info not in Snapshot()")
+	}
+
+	// Same label values return the same child gauge.
+	vec.With("v1", "abc", "go1.22").Set(1)
+	if n := len(reg.Snapshot()); n != len(samples) {
+		t.Fatalf("re-With created a new child: %d samples, want %d", n, len(samples))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry/progress"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -335,10 +336,19 @@ func (s *Server) finalizeRemote(j *job, payload []byte, fromCache bool, err erro
 		j.errMsg = err.Error()
 	}
 	final := j.status
+	errMsg := j.errMsg
 	cancel := j.cancel
 	started := j.started
 	peer := j.remoteAddr
 	s.mu.Unlock()
+
+	if final == StatusDone && payload != nil && j.req.Type == "sweep" {
+		// A remotely computed sweep never streamed rows here; replay them so
+		// the origin's event stream carries the full row history before the
+		// terminal event, exactly like a local run.
+		progress.ReplaySweep(s.progress, j.id, payload, fromCache)
+	}
+	s.progress.End(j.id, string(final), errMsg)
 
 	if final == StatusDone && payload != nil {
 		// The origin keeps a local replica: clients fetch the result here,
@@ -591,7 +601,7 @@ func (s *Server) runStolen(ctx context.Context, origin string, sj *cluster.Stole
 				rctx, cancel = context.WithTimeout(rctx, s.cfg.JobTimeout)
 				defer cancel()
 			}
-			return s.execute(rctx, &req)
+			return s.execute(rctx, &req, nil)
 		}()
 		s.mRunning.Add(-1)
 	}
@@ -689,7 +699,7 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 // ownership shares, the steal/proxy/forward counters and the cache stats
 // — every number read from its single authoritative source.
 func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
-	s.syncCacheMetrics()
+	s.syncMirroredMetrics()
 	cl := s.cfg.Cluster
 	st := s.cache.Stats()
 	s.mu.Lock()
@@ -721,12 +731,15 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
-// syncCacheMetrics raises the exported cache counters to the cache's own
-// cumulative stats — one source of truth, mirrored monotonically.
-func (s *Server) syncCacheMetrics() {
+// syncMirroredMetrics raises the exported mirror counters to their
+// authoritative sources — the result cache's cumulative stats and the
+// progress broker's event count. One source of truth per number, mirrored
+// monotonically before every scrape and sample.
+func (s *Server) syncMirroredMetrics() {
 	st := s.cache.Stats()
 	s.mCacheHit.SyncTo(int64(st.Hits))
 	s.mCacheMiss.SyncTo(int64(st.Misses))
 	s.mCacheRem.SyncTo(int64(st.RemoteHits))
 	s.mCacheEvict.SyncTo(int64(st.Evictions))
+	s.mProgEvents.SyncTo(s.progress.TotalEvents())
 }

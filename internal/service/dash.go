@@ -1,0 +1,22 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashHTML is the whole dashboard: one self-contained page, no external
+// assets, embedded at build time — it works air-gapped and adds no
+// dependencies.
+//
+//go:embed dash.html
+var dashHTML []byte
+
+// handleDash serves the live ops dashboard. All data comes from the same
+// public endpoints an operator could curl: /cluster/metrics for the fleet
+// table, /api/v1/jobs + /api/v1/jobs/{id}/events for live progress, and
+// /api/v1/metrics/query for the sparklines.
+func (s *Server) handleDash(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashHTML)
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -18,11 +19,15 @@ import (
 //	GET    /api/v1/jobs             list jobs in submission order
 //	GET    /api/v1/jobs/{id}        job status
 //	GET    /api/v1/jobs/{id}/result result payload of a done job
+//	GET    /api/v1/jobs/{id}/events live job progress (SSE; Last-Event-ID replays)
 //	DELETE /api/v1/jobs/{id}        cancel a queued or running job
 //	GET    /metrics                 Prometheus text exposition
+//	GET    /api/v1/metrics/query    sampled time series (?name=...&since=...)
 //	GET    /debug/traces            recent request/job spans (JSON)
+//	GET    /debug/dash              embedded live ops dashboard (HTML)
 //	GET    /healthz                 liveness probe
 //	GET    /cluster                 cluster status (peers, ownership, counters)
+//	GET    /cluster/metrics         fleet-wide metrics merged across live peers
 //
 // In cluster mode (Config.Cluster set) the peer protocol is also served:
 //
@@ -43,16 +48,21 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /api/v1/jobs", "list", s.handleList)
 	handle("GET /api/v1/jobs/{id}", "status", s.handleStatus)
 	handle("GET /api/v1/jobs/{id}/result", "result", s.handleResult)
+	handle("GET /api/v1/jobs/{id}/events", "events", s.handleEvents)
 	handle("DELETE /api/v1/jobs/{id}", "cancel", s.handleCancel)
 	handle("GET /metrics", "metrics", s.handleMetrics)
+	handle("GET /api/v1/metrics/query", "metrics_query", s.handleMetricsQuery)
 	handle("GET /debug/traces", "traces", s.tracer.DebugHandler().ServeHTTP)
+	handle("GET /debug/dash", "dash", s.handleDash)
 	handle("GET /healthz", "healthz", s.handleHealthz)
 	handle("GET /cluster", "cluster", s.handleClusterStatus)
+	handle("GET /cluster/metrics", "cluster_metrics", s.handleClusterMetrics)
 	if s.cfg.Cluster != nil {
 		handle("GET /api/v1/cluster/cache/{key}", "cache_get", s.handleCacheGet)
 		handle("PUT /api/v1/cluster/cache/{key}", "cache_put", s.handleCachePut)
 		handle("POST /api/v1/cluster/steal", "steal", s.handleSteal)
 		handle("POST /api/v1/cluster/complete", "complete", s.handleComplete)
+		handle("GET /api/v1/cluster/nodemetrics", "nodemetrics", s.handleNodeMetrics)
 	}
 	return tracing.Middleware(s.tracer, mux)
 }
@@ -67,6 +77,10 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying connection's
+// Flusher — the SSE endpoint streams through this wrapper.
+func (w *statusRecorder) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps one route with request-count and latency metrics. The
 // route label is a fixed name per pattern, never the raw path, so metric
@@ -217,10 +231,11 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	// The cache counters mirror resultcache.Stats; raise them to the
-	// authoritative values before rendering so a scrape is never stale.
-	s.syncCacheMetrics()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// Mirror counters (cache, progress) track external sources; raise them
+	// to the authoritative values before rendering so a scrape is never
+	// stale.
+	s.syncMirroredMetrics()
+	w.Header().Set("Content-Type", metrics.ContentType)
 	s.reg.WritePrometheus(w)
 }
 

@@ -1,0 +1,259 @@
+package service
+
+// The live ops plane's HTTP surface: the SSE job-progress stream, the
+// time-series query endpoint over the ring sampler, and the fleet-wide
+// metrics view that fans out to every cluster peer. The dashboard at
+// /debug/dash (dash.go) is a client of all three.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/par"
+)
+
+// handleEvents streams one job's progress events as Server-Sent Events.
+// The stream replays from event 0 by default; a reconnecting client sends
+// the standard Last-Event-ID header (or ?from=N) to resume after the last
+// event it saw — sequence numbers are dense, so the replay is gapless. The
+// stream ends with the job's terminal event ("done", "failed", "canceled",
+// or "shutdown" when the server drains under it), or when the client
+// disconnects, which cancels the subscription via the request context.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.snapshot(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", id))
+		return
+	}
+	from := int64(0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed Last-Event-ID %q", v))
+			return
+		}
+		from = n + 1 // resume after the last event the client saw
+	} else if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed from %q", v))
+			return
+		}
+		from = n
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	s.mProgStream.Add(1)
+	defer s.mProgStream.Add(-1)
+
+	sub := s.progress.Subscribe(id, from)
+	ctx := r.Context()
+	for {
+		ev, ok := sub.Next(ctx)
+		if !ok {
+			return // client gone, or the log drained past its terminal event
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return
+		}
+		rc.Flush()
+		if ev.Terminal() {
+			return
+		}
+	}
+}
+
+// parseSince accepts an RFC3339 timestamp, unix seconds, or a relative
+// duration meaning "that long ago" ("5m" = the last five minutes).
+func parseSince(v string) (time.Time, error) {
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t, nil
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	if d, err := time.ParseDuration(v); err == nil && d > 0 {
+		return time.Now().Add(-d), nil
+	}
+	return time.Time{}, fmt.Errorf("want RFC3339, unix seconds or a relative duration")
+}
+
+// handleMetricsQuery serves the sampled time series: ?name=<series> with
+// an optional since=<RFC3339|unix-seconds|duration>. Without a name it
+// lists the sampled series names — the dashboard's discovery call.
+func (s *Server) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"names":            s.sampler.Names(),
+			"interval_seconds": s.cfg.SampleInterval.Seconds(),
+			"capacity":         s.sampler.Capacity(),
+		})
+		return
+	}
+	var since time.Time
+	if v := r.URL.Query().Get("since"); v != "" {
+		t, err := parseSince(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed since %q: %w", v, err))
+			return
+		}
+		since = t
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":             name,
+		"interval_seconds": s.cfg.SampleInterval.Seconds(),
+		"series":           s.sampler.Query(name, since),
+	})
+}
+
+// localNodeMetrics builds this node's operational snapshot — the same
+// numbers /metrics exports, shaped for fleet merging.
+func (s *Server) localNodeMetrics() cluster.NodeMetrics {
+	s.syncMirroredMetrics()
+	st := s.cache.Stats()
+	s.mu.Lock()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	nm := cluster.NodeMetrics{
+		Queued:          queued,
+		Running:         int(s.mRunning.Value()),
+		Workers:         s.cfg.Workers,
+		QueueDepth:      cap(s.queue),
+		CacheHits:       st.Hits,
+		CacheMisses:     st.Misses,
+		CacheRemoteHits: st.RemoteHits,
+		CacheEvictions:  st.Evictions,
+		CacheEntries:    s.cache.Len(),
+		SimulatedCycles: float64(s.mSimCycles.Value()),
+		CyclesPerSecond: s.mCPS.Value(),
+		ProgressEvents:  s.progress.TotalEvents(),
+	}
+	if lookups := st.Hits + st.RemoteHits + st.Misses; lookups > 0 {
+		nm.CacheHitRatio = float64(st.Hits+st.RemoteHits) / float64(lookups)
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		nm.Addr = cl.Self()
+		cs := cl.Stats()
+		nm.Cluster = &cs
+	}
+	return nm
+}
+
+// handleNodeMetrics serves this node's snapshot to peers — the per-node
+// half of the /cluster/metrics fan-out.
+func (s *Server) handleNodeMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.localNodeMetrics())
+}
+
+// fleetNode is one row of the /cluster/metrics fleet table: a node's
+// snapshot, or its address with a stale marker when the node could not be
+// asked live.
+type fleetNode struct {
+	cluster.NodeMetrics
+	Stale bool   `json:"stale,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// fleetTotals is the merged roll-up over the nodes that answered.
+type fleetTotals struct {
+	Nodes           int     `json:"nodes"`
+	Live            int     `json:"live"`
+	Stale           int     `json:"stale"`
+	Queued          int     `json:"queued"`
+	Running         int     `json:"running"`
+	Workers         int     `json:"workers"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	CacheRemoteHits uint64  `json:"cache_remote_hits"`
+	CacheHitRatio   float64 `json:"cache_hit_ratio"`
+	SimulatedCycles float64 `json:"simulated_cycles"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+	ProgressEvents  int64   `json:"progress_events"`
+	Forwards        int64   `json:"forwards"`
+	StealsTaken     int64   `json:"steals_taken"`
+	Failovers       int64   `json:"failovers"`
+}
+
+// handleClusterMetrics serves the fleet view: this node's snapshot plus a
+// concurrent fan-out to every configured peer (each fetch bounded by the
+// cluster's CallTimeout), merged into one document. A peer that fails to
+// answer appears with stale=true and its error — partial results beat no
+// results when a node is down, which is exactly when an operator is
+// looking. Standalone servers get a one-node fleet.
+func (s *Server) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	nodes := []fleetNode{{NodeMetrics: s.localNodeMetrics()}}
+	if cl := s.cfg.Cluster; cl != nil {
+		self := cl.Self()
+		var peers []string
+		for _, m := range cl.Members() {
+			if m != self {
+				peers = append(peers, m)
+			}
+		}
+		results := make([]fleetNode, len(peers))
+		// Index-disjoint writes; the whole fan-out costs at most one
+		// CallTimeout even with several dead peers.
+		par.ForEach(r.Context(), len(peers), len(peers), func(i int) error {
+			nm, err := cl.FetchNodeMetrics(r.Context(), peers[i])
+			if err != nil {
+				results[i] = fleetNode{
+					NodeMetrics: cluster.NodeMetrics{Addr: peers[i]},
+					Stale:       true,
+					Error:       err.Error(),
+				}
+				return nil
+			}
+			nm.Addr = peers[i] // our peer table names the node, not its own view
+			results[i] = fleetNode{NodeMetrics: nm}
+			return nil
+		})
+		nodes = append(nodes, results...)
+	}
+
+	var tot fleetTotals
+	tot.Nodes = len(nodes)
+	var lookups, served uint64
+	for _, n := range nodes {
+		if n.Stale {
+			tot.Stale++
+			continue
+		}
+		tot.Live++
+		tot.Queued += n.Queued
+		tot.Running += n.Running
+		tot.Workers += n.Workers
+		tot.CacheHits += n.CacheHits
+		tot.CacheMisses += n.CacheMisses
+		tot.CacheRemoteHits += n.CacheRemoteHits
+		served += n.CacheHits + n.CacheRemoteHits
+		lookups += n.CacheHits + n.CacheRemoteHits + n.CacheMisses
+		tot.SimulatedCycles += n.SimulatedCycles
+		tot.CyclesPerSecond += n.CyclesPerSecond
+		tot.ProgressEvents += n.ProgressEvents
+		if n.Cluster != nil {
+			tot.Forwards += n.Cluster.ForwardsRoute + n.Cluster.ForwardsSpill + n.Cluster.ForwardsFailover
+			tot.StealsTaken += n.Cluster.StealsTaken
+			tot.Failovers += n.Cluster.Failovers
+		}
+	}
+	if lookups > 0 {
+		tot.CacheHitRatio = float64(served) / float64(lookups)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": nodes, "fleet": tot})
+}

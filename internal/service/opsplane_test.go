@@ -1,0 +1,600 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sweep"
+	"repro/internal/telemetry/progress"
+)
+
+// sseEvent is one parsed Server-Sent Event frame.
+type sseEvent struct {
+	ID    string
+	Event string
+	Data  progress.Event
+}
+
+// readSSEFunc parses SSE frames off r, invoking onFrame per frame until it
+// returns false or the stream ends.
+func readSSEFunc(t *testing.T, r io.Reader, onFrame func(sseEvent) bool) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.Event != "" || cur.ID != "" {
+				out = append(out, cur)
+				if !onFrame(cur) {
+					return out
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.Data); err != nil {
+				t.Fatalf("malformed SSE data %q: %v", line, err)
+			}
+		}
+	}
+	return out
+}
+
+// readSSE parses SSE frames off r until the stream ends or max frames have
+// arrived (max <= 0 = read to EOF).
+func readSSE(t *testing.T, r io.Reader, max int) []sseEvent {
+	t.Helper()
+	n := 0
+	return readSSEFunc(t, r, func(sseEvent) bool {
+		n++
+		return max <= 0 || n < max
+	})
+}
+
+// streamEvents opens the job's SSE stream with optional headers and reads
+// it to the terminal event.
+func streamEvents(t *testing.T, url, jobID string, hdr map[string]string) []sseEvent {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url+"/api/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	return readSSE(t, resp.Body, 0)
+}
+
+// checkGapless asserts the frames are a dense seq run ending in a terminal
+// event of the wanted type, with one row event per sweep row before it.
+func checkGapless(t *testing.T, evs []sseEvent, rows int, terminal string, from int64) {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatal("no SSE events")
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("%d", from+int64(i)); ev.ID != want {
+			t.Fatalf("frame %d has id %q, want %q (gapless dense sequence)", i, ev.ID, want)
+		}
+		if ev.Data.Seq != from+int64(i) {
+			t.Fatalf("frame %d data seq = %d, want %d", i, ev.Data.Seq, from+int64(i))
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Event != terminal || !last.Data.Terminal() {
+		t.Fatalf("stream ended with %q, want terminal %q", last.Event, terminal)
+	}
+	if got := len(evs) - 1; got != rows {
+		t.Fatalf("stream carried %d row events, want %d", got, rows)
+	}
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.Event != "row" {
+			t.Fatalf("non-terminal frame has type %q, want row", ev.Event)
+		}
+		if ev.Data.ConfigHash == "" || ev.Data.Procs == 0 || ev.Data.Size == 0 {
+			t.Fatalf("row event missing simulation columns: %+v", ev.Data)
+		}
+	}
+}
+
+func TestSSEStreamEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v, code := postJob(t, ts, tinySweep())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+
+	// Subscribe while the job runs: the stream replays from 0 and follows
+	// the job to its terminal event.
+	evs := streamEvents(t, ts.URL, v.ID, nil)
+	checkGapless(t, evs, 2, "done", 0)
+
+	// Row wall times are measured on this node (not replayed), so they are
+	// positive, and cache_hit is unset.
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.Data.CacheHit {
+			t.Fatalf("freshly simulated row marked cache_hit: %+v", ev.Data)
+		}
+		if ev.Data.WallSeconds <= 0 {
+			t.Fatalf("row wall time = %v, want > 0", ev.Data.WallSeconds)
+		}
+	}
+
+	// Replay after completion is identical — the log is retained.
+	again := streamEvents(t, ts.URL, v.ID, nil)
+	if len(again) != len(evs) {
+		t.Fatalf("replay returned %d events, want %d", len(again), len(evs))
+	}
+
+	// Last-Event-ID resumes after the given sequence, gaplessly.
+	resumed := streamEvents(t, ts.URL, v.ID, map[string]string{"Last-Event-ID": "0"})
+	checkGapless(t, resumed, 1, "done", 1)
+}
+
+func TestSSEFromQueryAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v, _ := postJob(t, ts, tinySweep())
+	waitDone(t, ts, v.ID)
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + v.ID + "/events?from=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	checkGapless(t, evs, 0, "done", 2)
+
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/nope/events", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job events returned %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/jobs/"+v.ID+"/events?from=-1", nil); code != http.StatusBadRequest {
+		t.Fatalf("negative from returned %d, want 400", code)
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/jobs/"+v.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "bogus")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed Last-Event-ID returned %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestSSECacheHitReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v1, _ := postJob(t, ts, tinySweep())
+	waitDone(t, ts, v1.ID)
+
+	// The identical submission is served from the result cache; its stream
+	// still carries one event per row, marked cache_hit.
+	v2, _ := postJob(t, ts, tinySweep())
+	waitDone(t, ts, v2.ID)
+	evs := streamEvents(t, ts.URL, v2.ID, nil)
+	checkGapless(t, evs, 2, "done", 0)
+	for _, ev := range evs[:len(evs)-1] {
+		if !ev.Data.CacheHit {
+			t.Fatalf("cache-served row not marked cache_hit: %+v", ev.Data)
+		}
+	}
+}
+
+func TestSSEClientDisconnect(t *testing.T) {
+	// A sweep that blocks until released keeps the job running while the
+	// subscriber connects and then disconnects.
+	release := make(chan struct{})
+	defer close(release)
+	_, ts := newTestServer(t, Config{Workers: 1,
+		runOverride: func(ctx context.Context, req *Request) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return []byte(`{"rows":[]}`), nil
+		}})
+
+	v, _ := postJob(t, ts, tinySweep())
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/api/v1/jobs/"+v.ID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The handler is now blocked in Next; the stream gauge shows it.
+	waitFor(t, func() bool { return metricValue(t, ts, "texsimd_progress_streams") == 1 },
+		"the SSE stream gauge to reach 1")
+	cancel() // client walks away
+	resp.Body.Close()
+	waitFor(t, func() bool { return metricValue(t, ts, "texsimd_progress_streams") == 0 },
+		"the disconnect to release the stream")
+}
+
+func TestDrainClosesStreamsWithTerminalEvent(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := New(context.Background(), Config{Workers: 1, SampleInterval: -1,
+		runOverride: func(ctx context.Context, req *Request) ([]byte, error) {
+			close(release)
+			<-ctx.Done() // runs until drain's cancellation
+			return nil, ctx.Err()
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	v, _ := postJob(t, ts, tinySweep())
+	<-release
+
+	// Subscribe mid-job, then drain the server under the stream with an
+	// already-expired context: running work is cancelled, and the broker
+	// shutdown must still hand every subscriber a terminal event. The
+	// stream body is read raw off the test goroutine and parsed on it.
+	got := make(chan []byte, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/api/v1/jobs/" + v.ID + "/events")
+		if err != nil {
+			got <- nil
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body) // EOF when the server ends the stream
+		got <- raw
+	}()
+	waitFor(t, func() bool { return metricValue(t, ts, "texsimd_progress_streams") == 1 },
+		"the subscriber to attach")
+
+	dctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	srv.Drain(dctx) // forced drain cancels the running job
+
+	select {
+	case raw := <-got:
+		evs := readSSE(t, bytes.NewReader(raw), 0)
+		if len(evs) == 0 {
+			t.Fatal("stream closed without any event")
+		}
+		last := evs[len(evs)-1]
+		if !last.Data.Terminal() {
+			t.Fatalf("stream ended with %q, want a terminal event", last.Event)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream did not close after drain")
+	}
+}
+
+func TestMetricsContentType(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, metrics.ContentType)
+	}
+}
+
+func TestBuildInfoMetric(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "texsimd_build_info{") {
+		t.Fatalf("/metrics missing texsimd_build_info:\n%s", text)
+	}
+	for _, label := range []string{`version="`, `commit="`, `go="`} {
+		if !strings.Contains(text, label) {
+			t.Fatalf("texsimd_build_info missing %s label:\n%s", label, text)
+		}
+	}
+}
+
+func TestMetricsQueryEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{SampleInterval: 10 * time.Millisecond, SamplePoints: 16})
+
+	v, _ := postJob(t, ts, tinySweep())
+	waitDone(t, ts, v.ID)
+
+	// The names listing fills in as the sampler ticks.
+	var listing struct {
+		Names           []string `json:"names"`
+		IntervalSeconds float64  `json:"interval_seconds"`
+		Capacity        int      `json:"capacity"`
+	}
+	waitFor(t, func() bool {
+		getJSON(t, ts.URL+"/api/v1/metrics/query", &listing)
+		return len(listing.Names) > 0
+	}, "the sampler's first tick")
+	if listing.Capacity != 16 || listing.IntervalSeconds <= 0 {
+		t.Fatalf("listing = %+v, want capacity 16 and a positive interval", listing)
+	}
+	found := false
+	for _, n := range listing.Names {
+		if n == "texsimd_progress_events_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("names %v missing texsimd_progress_events_total", listing.Names)
+	}
+
+	// Querying a counter returns its sampled window; the job published 3
+	// progress events (2 rows + terminal), so the last point reaches 3.
+	var doc struct {
+		Name   string           `json:"name"`
+		Series []metrics.Series `json:"series"`
+	}
+	waitFor(t, func() bool {
+		getJSON(t, ts.URL+"/api/v1/metrics/query?name=texsimd_progress_events_total", &doc)
+		return len(doc.Series) == 1 && len(doc.Series[0].Points) > 0 &&
+			doc.Series[0].Points[len(doc.Series[0].Points)-1].V == 3
+	}, "the progress-event counter to be sampled at 3")
+
+	// since filters to recent points, accepting a relative duration.
+	var recent struct {
+		Series []metrics.Series `json:"series"`
+	}
+	getJSON(t, ts.URL+"/api/v1/metrics/query?name=texsimd_progress_events_total&since=1h", &recent)
+	if len(recent.Series) != 1 {
+		t.Fatalf("since=1h returned %d series, want 1", len(recent.Series))
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/metrics/query?name=x&since=bogus", nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed since returned %d, want 400", code)
+	}
+
+	_ = srv
+}
+
+func TestSamplerDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{SampleInterval: -1})
+	var listing struct {
+		Names []string `json:"names"`
+	}
+	getJSON(t, ts.URL+"/api/v1/metrics/query", &listing)
+	if len(listing.Names) != 0 {
+		t.Fatalf("disabled sampler still produced series: %v", listing.Names)
+	}
+}
+
+func TestDashServed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/debug/dash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/dash returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("/debug/dash Content-Type = %q, want text/html", ct)
+	}
+	text := string(body)
+	// The page must be self-contained and point at the live endpoints.
+	for _, want := range []string{"/cluster/metrics", "/api/v1/metrics/query", "EventSource"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/debug/dash missing %q", want)
+		}
+	}
+	for _, banned := range []string{"src=\"http", "href=\"http", "@import"} {
+		if strings.Contains(text, banned) {
+			t.Fatalf("/debug/dash references an external asset (%q)", banned)
+		}
+	}
+}
+
+func TestClusterMetricsStandalone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	v, _ := postJob(t, ts, tinySweep())
+	waitDone(t, ts, v.ID)
+
+	var doc struct {
+		Nodes []fleetNode `json:"nodes"`
+		Fleet fleetTotals `json:"fleet"`
+	}
+	if code := getJSON(t, ts.URL+"/cluster/metrics", &doc); code != http.StatusOK {
+		t.Fatalf("/cluster/metrics returned %d", code)
+	}
+	if len(doc.Nodes) != 1 || doc.Fleet.Nodes != 1 || doc.Fleet.Live != 1 {
+		t.Fatalf("standalone fleet = %+v, want exactly this node", doc)
+	}
+	n := doc.Nodes[0]
+	if n.Stale || n.Workers != 2 {
+		t.Fatalf("node = %+v, want live with 2 workers", n)
+	}
+	if n.SimulatedCycles <= 0 || n.ProgressEvents != 3 {
+		t.Fatalf("node = %+v, want simulated cycles > 0 and 3 progress events", n)
+	}
+	if doc.Fleet.ProgressEvents != 3 || doc.Fleet.SimulatedCycles != n.SimulatedCycles {
+		t.Fatalf("fleet totals %+v do not mirror the single node %+v", doc.Fleet, n)
+	}
+}
+
+// fleetDoc decodes one /cluster/metrics response.
+type fleetDoc struct {
+	Nodes []fleetNode `json:"nodes"`
+	Fleet fleetTotals `json:"fleet"`
+}
+
+func TestClusterMetricsThreeNodeMerge(t *testing.T) {
+	nodes := newClusterNodes(t, 3, func(i int, cfg *Config) {
+		cfg.runOverride = func(ctx context.Context, req *Request) ([]byte, error) {
+			return echoPayload(t, req), nil
+		}
+	})
+	// One locally-pinned job per node, so every node has its own counters.
+	routed := map[string]string{cluster.RoutedHeader: "1"}
+	seen := map[string]bool{}
+	for i, nd := range nodes {
+		v, code := postJobWith(t, nd.ts, specOwnedBy(t, nodes, i, seen), routed)
+		if code != http.StatusAccepted {
+			t.Fatalf("node %d submit returned %d", i, code)
+		}
+		if d := waitDone(t, nd.ts, v.ID); d.Status != StatusDone {
+			t.Fatalf("node %d job ended %s: %s", i, d.Status, d.Error)
+		}
+	}
+
+	var doc fleetDoc
+	if code := getJSON(t, nodes[0].ts.URL+"/cluster/metrics", &doc); code != http.StatusOK {
+		t.Fatalf("/cluster/metrics returned %d", code)
+	}
+	if doc.Fleet.Nodes != 3 || doc.Fleet.Live != 3 || doc.Fleet.Stale != 0 {
+		t.Fatalf("fleet = %+v, want 3 live nodes", doc.Fleet)
+	}
+	if doc.Fleet.Workers != 6 {
+		t.Fatalf("fleet workers = %d, want 6 (2 per node, summed)", doc.Fleet.Workers)
+	}
+	// Each job publishes one terminal progress event (runOverride skips the
+	// row sink), and the merge must carry every node's count.
+	if doc.Fleet.ProgressEvents != 3 {
+		t.Fatalf("fleet progress events = %d, want 3", doc.Fleet.ProgressEvents)
+	}
+	byAddr := map[string]fleetNode{}
+	for _, n := range doc.Nodes {
+		byAddr[n.Addr] = n
+	}
+	for i, nd := range nodes {
+		n, ok := byAddr[nd.ts.URL]
+		if !ok {
+			t.Fatalf("node %d (%s) missing from the fleet view", i, nd.ts.URL)
+		}
+		if n.Stale || n.ProgressEvents != 1 || n.Cluster == nil {
+			t.Fatalf("node %d = %+v, want live with 1 progress event and cluster stats", i, n)
+		}
+	}
+}
+
+func TestClusterMetricsMarksKilledPeerStale(t *testing.T) {
+	nodes := newClusterNodes(t, 3, func(i int, cfg *Config) {
+		cfg.runOverride = func(ctx context.Context, req *Request) ([]byte, error) {
+			return echoPayload(t, req), nil
+		}
+	})
+	nodes[2].ts.Close() // the peer dies; its address stays in the member table
+
+	var doc fleetDoc
+	if code := getJSON(t, nodes[0].ts.URL+"/cluster/metrics", &doc); code != http.StatusOK {
+		t.Fatalf("/cluster/metrics returned %d", code)
+	}
+	if doc.Fleet.Nodes != 3 || doc.Fleet.Live != 2 || doc.Fleet.Stale != 1 {
+		t.Fatalf("fleet = %+v, want 2 live + 1 stale", doc.Fleet)
+	}
+	var stale *fleetNode
+	for i := range doc.Nodes {
+		if doc.Nodes[i].Stale {
+			stale = &doc.Nodes[i]
+		}
+	}
+	if stale == nil || stale.Addr != nodes[2].ts.URL {
+		t.Fatalf("stale node = %+v, want %s marked stale", stale, nodes[2].ts.URL)
+	}
+	if stale.Error == "" {
+		t.Fatal("stale node carries no error")
+	}
+	// Dead-node numbers must not pollute the merged totals.
+	if doc.Fleet.Workers != 4 {
+		t.Fatalf("fleet workers = %d, want 4 (the two live nodes)", doc.Fleet.Workers)
+	}
+}
+
+// TestClusterE2EProgressWithPeerDeath is the acceptance flow: a 3-node
+// cluster streams a multi-row sweep's progress over SSE, one non-executing
+// peer is killed mid-stream, the surviving node's stream completes
+// gaplessly, and /cluster/metrics reports the dead peer stale while
+// merging the two live nodes.
+func TestClusterE2EProgressWithPeerDeath(t *testing.T) {
+	nodes := newClusterNodes(t, 3, nil) // real simulations
+
+	// Four rows, pinned to node 0 by the routed header so forwarding can
+	// never hand the job to the peer we kill.
+	req := &Request{Type: "sweep", Sweep: &sweep.Spec{
+		Scene: "truc640", Scale: 0.25, Procs: []int{1, 4}, Sizes: []int{8, 16},
+		Cache: "perfect",
+	}}
+	v, code := postJobWith(t, nodes[0].ts, req, map[string]string{cluster.RoutedHeader: "1"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+
+	resp, err := http.Get(nodes[0].ts.URL + "/api/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	evs := readSSEFunc(t, resp.Body, func(ev sseEvent) bool {
+		if !killed {
+			// First frame arrived while the job streams: kill the bystander.
+			nodes[2].ts.Close()
+			killed = true
+		}
+		return true // read to the terminal event
+	})
+	resp.Body.Close()
+	if !killed {
+		t.Fatal("stream delivered no frames")
+	}
+	checkGapless(t, evs, 4, "done", 0)
+
+	if d := waitDone(t, nodes[0].ts, v.ID); d.Status != StatusDone {
+		t.Fatalf("job ended %s: %s", d.Status, d.Error)
+	}
+
+	var doc fleetDoc
+	if code := getJSON(t, nodes[0].ts.URL+"/cluster/metrics", &doc); code != http.StatusOK {
+		t.Fatalf("/cluster/metrics returned %d", code)
+	}
+	if doc.Fleet.Live != 2 || doc.Fleet.Stale != 1 {
+		t.Fatalf("fleet = %+v, want 2 live + 1 stale after the kill", doc.Fleet)
+	}
+	for _, n := range doc.Nodes {
+		if n.Stale != (n.Addr == nodes[2].ts.URL) {
+			t.Fatalf("node %s stale=%v, want only the killed peer stale", n.Addr, n.Stale)
+		}
+	}
+	// The surviving executor's snapshot reflects the streamed job: 4 row
+	// events + the terminal, and real simulated work.
+	exec := doc.Nodes[0]
+	if exec.Addr != nodes[0].ts.URL || exec.ProgressEvents != 5 || exec.SimulatedCycles <= 0 {
+		t.Fatalf("executor = %+v, want 5 progress events and simulated cycles", exec)
+	}
+}

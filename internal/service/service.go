@@ -22,12 +22,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/telemetry/logging"
+	"repro/internal/telemetry/progress"
 	"repro/internal/telemetry/tracing"
 )
 
@@ -64,6 +66,16 @@ type Config struct {
 	// Tracer records request and job spans (nil = a fresh tracer with
 	// default capacity). Handler serves its ring at /debug/traces.
 	Tracer *tracing.Tracer
+	// Progress is the job-progress broker behind GET /api/v1/jobs/{id}/events
+	// (nil = a fresh broker). Pass a shared broker to observe events from
+	// outside the server too — texsweep's -progress works this way.
+	Progress *progress.Broker
+	// SampleInterval is the metrics time-series sampling period behind
+	// /api/v1/metrics/query (0 = 5s, negative = sampling disabled).
+	SampleInterval time.Duration
+	// SamplePoints bounds retained history per series (0 = 512). Sampler
+	// memory is O(series × SamplePoints), independent of uptime.
+	SamplePoints int
 
 	// Cluster, when non-nil, makes the server peer-aware: submissions are
 	// routed to the rendezvous owner of their cache key, cache misses ask
@@ -196,14 +208,21 @@ type job struct {
 // Server is the simulation service. Create with New, expose with Handler,
 // stop with Drain (graceful) or Close (immediate).
 type Server struct {
-	cfg    Config
-	reg    *metrics.Registry
-	cache  *resultcache.Cache
-	logger *slog.Logger
-	tracer *tracing.Tracer
+	cfg      Config
+	reg      *metrics.Registry
+	cache    *resultcache.Cache
+	logger   *slog.Logger
+	tracer   *tracing.Tracer
+	progress *progress.Broker
+	sampler  *metrics.Sampler
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// stop ends the sampler loop on Drain's clean path, which never cancels
+	// baseCtx; closed exactly once via stopOnce.
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	wg sync.WaitGroup
 
@@ -230,6 +249,8 @@ type Server struct {
 	mQueueWait  *metrics.HistogramVec // by type
 	mHTTPReqs   *metrics.CounterVec   // by route, code
 	mHTTPDur    *metrics.HistogramVec // by route
+	mProgStream *metrics.Gauge
+	mProgEvents *metrics.Counter
 }
 
 // New builds the server and starts its worker pool. ctx is the root of
@@ -269,6 +290,15 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.LeaseTimeout <= 0 {
 		cfg.LeaseTimeout = 60 * time.Second
 	}
+	if cfg.Progress == nil {
+		cfg.Progress = progress.NewBroker()
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = 5 * time.Second
+	}
+	if cfg.SamplePoints <= 0 {
+		cfg.SamplePoints = 512
+	}
 	logger := cfg.Logger
 	if logger == nil && cfg.Logf != nil {
 		// Legacy bridge: render records as text lines into the Logf hook.
@@ -286,9 +316,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		tracer:     cfg.Tracer,
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
+		progress:   cfg.Progress,
+		stop:       make(chan struct{}),
 		queue:      make(chan *job, cfg.QueueDepth),
 		jobs:       make(map[string]*job),
 	}
+	s.sampler = metrics.NewSampler(cfg.Metrics, cfg.SamplePoints)
 	r := s.reg
 	s.mSubmitted = r.CounterVec("texsimd_jobs_submitted_total", "Jobs accepted into the queue.", "type")
 	s.mCompleted = r.CounterVec("texsimd_jobs_completed_total", "Jobs finished, by final status.", "status")
@@ -308,7 +341,18 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	s.mQueueWait = r.HistogramVec("texsimd_job_queue_wait_seconds", "Job wall time from submission to a worker picking it up.", nil, "type")
 	s.mHTTPReqs = r.CounterVec("texsimd_http_requests_total", "HTTP requests served, by route and status code.", "route", "code")
 	s.mHTTPDur = r.HistogramVec("texsimd_http_request_duration_seconds", "HTTP request wall time, by route.", nil, "route")
+	s.mProgStream = r.Gauge("texsimd_progress_streams", "Open job-progress event streams (SSE subscribers).")
+	// The broker's own count stays authoritative; syncMirroredMetrics
+	// raises this mirror before every scrape and sample.
+	s.mProgEvents = r.Counter("texsimd_progress_events_total", "Progress events published across all jobs.")
+	bi := buildinfo.Read()
+	r.GaugeVec("texsimd_build_info", "Build metadata carried as labels; the value is always 1.",
+		"version", "commit", "go").With(bi.Version, bi.Commit, bi.Go).Set(1)
 
+	if cfg.SampleInterval > 0 {
+		s.wg.Add(1)
+		go s.sampleLoop()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -504,9 +548,18 @@ func (s *Server) runJob(j *job) {
 			}
 		}()
 		if cached, ok := s.lookupCache(ctx, j.key); ok {
+			if j.req.Type == "sweep" {
+				// The stream still shows per-row completion — instant, and
+				// marked as cache hits.
+				progress.ReplaySweep(s.progress, j.id, cached, true)
+			}
 			return cached, true, nil
 		}
-		payload, err = s.execute(ctx, j.req)
+		var sink sweep.ProgressSink
+		if j.req.Type == "sweep" {
+			sink = progress.NewSink(s.progress, j.id)
+		}
+		payload, err = s.execute(ctx, j.req, sink)
 		if err != nil {
 			return nil, false, err
 		}
@@ -542,9 +595,11 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 	}
 	final := j.status
+	errMsg := j.errMsg
 	j.cancel()
 	s.mu.Unlock()
 
+	s.progress.End(j.id, string(final), errMsg)
 	s.mCompleted.With(string(final)).Inc()
 	if err == nil && !fromCache && j.req.Type == "sweep" {
 		var res sweep.Result
@@ -577,7 +632,9 @@ func (s *Server) runJob(j *job) {
 }
 
 // execute runs the actual simulation work and returns the result payload.
-func (s *Server) execute(ctx context.Context, req *Request) ([]byte, error) {
+// ps, when non-nil, observes a sweep's per-row progress (nil for job types
+// without row structure and for stolen runs, whose origin owns the stream).
+func (s *Server) execute(ctx context.Context, req *Request, ps sweep.ProgressSink) ([]byte, error) {
 	if s.cfg.runOverride != nil {
 		return s.cfg.runOverride(ctx, req)
 	}
@@ -586,6 +643,7 @@ func (s *Server) execute(ctx context.Context, req *Request) ([]byte, error) {
 		res, err := sweep.RunWith(ctx, *req.Sweep, sweep.RunOpts{
 			Parallelism:     s.cfg.Parallelism,
 			NodeParallelism: s.cfg.NodeParallelism,
+			Progress:        ps,
 		})
 		if err != nil {
 			return nil, err
@@ -631,6 +689,7 @@ func (s *Server) Cancel(id string) (Status, bool) {
 
 	if st == StatusQueued {
 		s.mCompleted.With(string(StatusCanceled)).Inc()
+		s.progress.End(id, string(StatusCanceled), "canceled before start")
 		return StatusCanceled, true
 	}
 	if st == StatusRunning {
@@ -652,6 +711,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	close(s.queue)
 	s.mu.Unlock()
+	// The sampler loop is part of s.wg but outlives jobs by design; on the
+	// clean path baseCtx never dies, so it needs its own stop signal before
+	// the Wait below can finish.
+	s.stopSampler()
 
 	done := make(chan struct{})
 	go func() {
@@ -660,10 +723,15 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every job is terminal now; any stream still open belongs to a job
+		// that never published one (defensive) — close it so SSE readers see
+		// a terminal event instead of a silent hang.
+		s.progress.Shutdown()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
+		s.progress.Shutdown()
 		return ctx.Err()
 	}
 }
@@ -677,7 +745,38 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.baseCancel()
+	s.stopSampler()
 	s.wg.Wait()
+	s.progress.Shutdown()
+}
+
+// stopSampler ends the sampler loop; safe to call from both Drain and
+// Close in either order.
+func (s *Server) stopSampler() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// sampleLoop snapshots every registered metric into the ring sampler on
+// the configured interval, mirroring externally-counted sources first so
+// sampled series match what a scrape at the same instant would say.
+func (s *Server) sampleLoop() {
+	defer s.wg.Done()
+	// An immediate first sample, so queries right after boot have a point.
+	s.syncMirroredMetrics()
+	s.sampler.Sample()
+	t := time.NewTicker(s.cfg.SampleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.syncMirroredMetrics()
+			s.sampler.Sample()
+		}
+	}
 }
 
 // snapshot returns a copy of the job record for rendering.

@@ -17,6 +17,7 @@ import (
 	"repro/internal/distrib"
 	"repro/internal/memory"
 	"repro/internal/par"
+	"repro/internal/resultcache"
 	"repro/internal/scene"
 	"repro/internal/telemetry/flight"
 )
@@ -125,6 +126,22 @@ func distKind(name string) (distrib.Kind, error) {
 	}
 }
 
+// RowHash is the content hash identifying one (procs, size) configuration
+// point of this sweep: the result-cache hash (sha256 of canonical JSON) of
+// the defaulted spec narrowed to that single point. Progress events carry
+// it so a consumer can correlate a streamed row with the cached result the
+// equivalent single-point sweep would produce.
+func (s Spec) RowHash(procs, size int) string {
+	p := s.WithDefaults()
+	p.Procs = []int{procs}
+	p.Sizes = []int{size}
+	key, err := resultcache.Key(p)
+	if err != nil {
+		return "" // unreachable for a Spec: plain struct, always encodable
+	}
+	return key
+}
+
 func cacheKind(name string) (core.CacheKind, error) {
 	switch name {
 	case "real":
@@ -150,6 +167,8 @@ type Row struct {
 	TexelPerFrag   float64 `json:"texel_per_frag"`
 	PixelImbalance float64 `json:"pixel_imbalance"`
 	StallCycles    float64 `json:"stall_cycles"`
+	// Frags is the total fragments (pixels) drawn across nodes.
+	Frags uint64 `json:"frags"`
 }
 
 // Flight is one configuration's flight recording: the per-node phase
@@ -191,6 +210,21 @@ type RunOpts struct {
 	// configurations therefore parallelizes across configurations; a sweep
 	// of one big configuration parallelizes across its nodes.
 	NodeParallelism int
+	// Progress, when non-nil, observes each configuration's lifecycle (see
+	// ProgressSink). Off costs one nil check per row; rows and results are
+	// byte-identical either way.
+	Progress ProgressSink
+}
+
+// ProgressSink observes a sweep's per-row lifecycle. Rows complete on
+// parallel workers, so implementations must be safe for concurrent use.
+// Callbacks run on the simulation hot path's row granularity — they should
+// not block.
+type ProgressSink interface {
+	// RowStarted fires when row `index` of `total` begins simulating.
+	RowStarted(index, total, procs, size int, configHash string)
+	// RowDone fires when the row's results are final.
+	RowDone(index, total int, row Row, configHash string)
 }
 
 // nodeParallelism resolves the per-machine worker bound for a sweep of
@@ -285,6 +319,11 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 		flights = make([]Flight, len(jobs))
 	}
 	err = par.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
+		var rowHash string
+		if opts.Progress != nil {
+			rowHash = spec.RowHash(jobs[i].procs, jobs[i].size)
+			opts.Progress.RowStarted(i, len(jobs), jobs[i].procs, jobs[i].size, rowHash)
+		}
 		cfg := mkConfig(jobs[i].procs, jobs[i].size)
 		m, err := core.NewMachine(sc, cfg)
 		if err != nil {
@@ -321,6 +360,10 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 			TexelPerFrag:   res.TexelToFragment(),
 			PixelImbalance: res.PixelImbalance(),
 			StallCycles:    stall,
+			Frags:          res.Fragments,
+		}
+		if opts.Progress != nil {
+			opts.Progress.RowDone(i, len(jobs), rows[i], rowHash)
 		}
 		return nil
 	})
@@ -336,7 +379,7 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 
 // CSVHeader is the column order of WriteCSV, matching Row's fields.
 var CSVHeader = []string{"scene", "dist", "procs", "size", "cycles",
-	"speedup", "texel_per_frag", "pixel_imbalance", "stall_cycles"}
+	"speedup", "texel_per_frag", "pixel_imbalance", "stall_cycles", "frags"}
 
 // WriteCSV writes the rows as RFC-4180 CSV with a header line — the
 // texsweep output format.
@@ -354,6 +397,7 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			strconv.FormatFloat(r.TexelPerFrag, 'f', 3, 64),
 			strconv.FormatFloat(r.PixelImbalance, 'f', 4, 64),
 			strconv.FormatFloat(r.StallCycles, 'f', 0, 64),
+			strconv.FormatUint(r.Frags, 10),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -35,6 +35,10 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap lets http.ResponseController reach the underlying connection's
+// Flusher, so streaming handlers (SSE) can flush through the middleware.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Middleware wraps next so every request runs inside a server span: an
 // incoming traceparent header continues the caller's trace, the response
 // carries the new span's traceparent, and the span records method, path
