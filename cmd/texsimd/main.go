@@ -67,6 +67,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job timeout (0 = unlimited)")
 		parallelism  = flag.Int("job-par", 1, "concurrent simulations inside one job")
 		nodePar      = flag.Int("node-par", 0, "worker bound for each simulation's parallel node kernel (0 = share the -job-par budget, 1 = force the event-driven kernel)")
+		noMemo       = flag.Bool("no-memo", false, "disable cross-configuration raster memoization in sweep jobs (identical output, more rasterization work)")
 		cacheEntries = flag.Int("cache-entries", resultcache.DefaultMaxEntries, "in-memory result cache entries")
 		cacheDir     = flag.String("cache-dir", "", "on-disk result cache directory (empty = memory only)")
 		noCache      = flag.Bool("no-cache", false, "disable the result cache (every job re-simulates)")
@@ -167,6 +168,7 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		Parallelism:     *parallelism,
 		NodeParallelism: *nodePar,
+		NoMemo:          *noMemo,
 		Cache:           cache,
 		Metrics:         reg,
 		OutDir:          *outDir,

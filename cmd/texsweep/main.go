@@ -45,6 +45,10 @@ func main() {
 		busRatio  = flag.Float64("bus", 1, "bus texels per pixel-cycle (0 = infinite)")
 		cacheKind = flag.String("cache", "real", "cache model: real, perfect or none")
 		buffer    = flag.Int("buffer", 0, "triangle buffer entries (0 = paper default)")
+		cacheList = flag.String("caches", "", "cache sizes in KB to sweep (comma-separated; requires the real cache model)")
+		busList   = flag.String("buses", "", "bus ratios to sweep (comma-separated; replaces -bus)")
+		bufList   = flag.String("buffers", "", "triangle buffer sizes to sweep (comma-separated; replaces -buffer)")
+		noMemo    = flag.Bool("no-memo", false, "disable cross-configuration raster memoization (identical output, more rasterization work)")
 		par       = flag.Int("par", 1, "concurrent simulations")
 		nodePar   = flag.Int("node-par", 0, "worker bound for each simulation's parallel node kernel (0 = share -par budget, 1 = force the event-driven kernel)")
 		asJSON    = flag.Bool("json", false, "emit the full JSON document instead of CSV")
@@ -71,11 +75,20 @@ func main() {
 	}
 	// 0 is the auto default, so explicitly asking for <= 0 is always a
 	// mistake (a typo'd unit, usually) rather than a request for auto.
+	// An axis flag replaces its scalar twin; naming both is ambiguous.
+	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) {
+		set[f.Name] = true
 		if f.Name == "flight-interval" && *flightInt <= 0 {
 			cliutil.Usage("texsweep", fmt.Sprintf("-flight-interval %v must be positive", *flightInt))
 		}
 	})
+	if set["buses"] && set["bus"] {
+		cliutil.Usage("texsweep", "-buses and -bus are mutually exclusive")
+	}
+	if set["buffers"] && set["buffer"] {
+		cliutil.Usage("texsweep", "-buffers and -buffer are mutually exclusive")
+	}
 
 	spec := sweep.Spec{
 		Scene:  *sceneName,
@@ -87,6 +100,25 @@ func main() {
 		Cache:  *cacheKind,
 		Buffer: *buffer,
 	}
+	if *cacheList != "" {
+		spec.Caches, err = cliutil.ParsePositiveIntList(*cacheList)
+		if err != nil {
+			cliutil.Fail("texsweep", fmt.Errorf("-caches: %w", err))
+		}
+	}
+	if *busList != "" {
+		spec.Buses, err = cliutil.ParseNonNegativeFloatList(*busList)
+		if err != nil {
+			cliutil.Fail("texsweep", fmt.Errorf("-buses: %w", err))
+		}
+		spec.Bus = 0 // the axis replaces the unset scalar default
+	}
+	if *bufList != "" {
+		spec.Buffers, err = cliutil.ParsePositiveIntList(*bufList)
+		if err != nil {
+			cliutil.Fail("texsweep", fmt.Errorf("-buffers: %w", err))
+		}
+	}
 	if *flightDir != "" {
 		spec.Flight = true
 		spec.FlightInterval = *flightInt
@@ -97,9 +129,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var plan sweep.PlanStats
 	opts := sweep.RunOpts{
 		Parallelism:     *par,
 		NodeParallelism: *nodePar,
+		NoMemo:          *noMemo,
+		Plan:            &plan,
 	}
 
 	// -progress rides the same broker the texsimd SSE endpoint uses: the
@@ -138,6 +173,14 @@ func main() {
 	res, err := sweep.RunWith(ctx, spec, opts)
 	finishProgress(err)
 	cliutil.Check("texsweep", err)
+
+	// One machine-parseable planner line per run: CI greps it to assert the
+	// memoized path really rasterized less.
+	fmt.Fprintf(os.Stderr, "texsweep: plan points=%d baselines=%d classes=%d rasterized=%d saved=%d memoized=%t\n",
+		plan.Points, plan.Baselines, plan.Classes, plan.Rasterizations, plan.Saved, plan.Memoized)
+	if *asJSON {
+		res.Plan = &plan
+	}
 
 	if *flightDir != "" {
 		cliutil.Check("texsweep", os.MkdirAll(*flightDir, 0o755))

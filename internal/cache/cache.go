@@ -36,6 +36,17 @@ type Model interface {
 	// Access looks up the texel at byte address addr, updating replacement
 	// state, and reports a hit.
 	Access(addr texture.Addr) bool
+	// RepeatHits reports whether re-accessing a trilinear footprint (at most
+	// 8 addresses, at most 2 distinct lines per set and mip level) that the
+	// immediately preceding accesses fully touched is guaranteed to hit on
+	// every address AND to leave the replacement state exactly as a real
+	// re-access would. When true, a caller replaying a run of fragments with
+	// identical footprints may account the repeats via AddHits instead of
+	// calling Access — the engine's precomputed-replay fast path.
+	RepeatHits() bool
+	// AddHits accounts n accesses that are known to hit without looking
+	// them up. Only meaningful when RepeatHits reports true.
+	AddHits(n uint64)
 	// Stats returns the accumulated counters.
 	Stats() Stats
 	// Reset clears contents and counters.
@@ -146,6 +157,20 @@ func (c *SetAssoc) Access(addr texture.Addr) bool {
 // Stats implements Model.
 func (c *SetAssoc) Stats() Stats { return c.stats }
 
+// RepeatHits implements Model. A trilinear footprint touches a 2×2 texel
+// block neighborhood per mip level; x-adjacent blocks differ by one in line
+// index, so with at least 2 sets each set receives at most 2 of a level's
+// lines — at most 4 lines per set across both levels. With 4 or more ways
+// the footprint's own insertions evict none of its lines, so an immediate
+// re-access hits everywhere and the MRU rotation reproduces the same final
+// order. A single-set cache can see all 8 lines collide, so it needs 8 ways.
+func (c *SetAssoc) RepeatHits() bool {
+	return c.ways >= 8 || (c.ways >= 4 && c.setMask >= 1)
+}
+
+// AddHits implements Model.
+func (c *SetAssoc) AddHits(n uint64) { c.stats.Accesses += n }
+
 // Reset implements Model.
 func (c *SetAssoc) Reset() {
 	for i := range c.tags {
@@ -173,6 +198,12 @@ func (c *Perfect) Access(texture.Addr) bool {
 // Stats implements Model.
 func (c *Perfect) Stats() Stats { return c.stats }
 
+// RepeatHits implements Model: everything hits, so repeats trivially do.
+func (c *Perfect) RepeatHits() bool { return true }
+
+// AddHits implements Model.
+func (c *Perfect) AddHits(n uint64) { c.stats.Accesses += n }
+
 // Reset implements Model.
 func (c *Perfect) Reset() { c.stats = Stats{} }
 
@@ -194,6 +225,14 @@ func (c *None) Access(texture.Addr) bool {
 
 // Stats implements Model.
 func (c *None) Stats() Stats { return c.stats }
+
+// RepeatHits implements Model: nothing ever hits, so repeated footprints
+// must be replayed as real (missing) accesses.
+func (c *None) RepeatHits() bool { return false }
+
+// AddHits implements Model. Never reached through the engine (RepeatHits is
+// false); counts plain accesses for interface completeness.
+func (c *None) AddHits(n uint64) { c.stats.Accesses += n }
 
 // Reset implements Model.
 func (c *None) Reset() { c.stats = Stats{} }

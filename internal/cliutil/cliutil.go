@@ -47,6 +47,32 @@ func ParsePositiveIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// ParseNonNegativeFloatList parses a comma-separated list of floats
+// ("0, 0.5, 2"), ignoring empty elements, rejecting negative ones. Sweep
+// bus ratios use this: zero is a meaningful value (infinite bus), negatives
+// never are. An empty or all-blank list is an error.
+func ParseNonNegativeFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q", part)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("list element %v must be non-negative", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
 // Fail prints "tool: err" to stderr and exits with status 1.
 func Fail(tool string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)

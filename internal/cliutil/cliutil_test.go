@@ -43,3 +43,15 @@ func TestParsePositiveIntList(t *testing.T) {
 		}
 	}
 }
+
+func TestParseNonNegativeFloatList(t *testing.T) {
+	got, err := ParseNonNegativeFloatList("0, 0.5 ,2")
+	if err != nil || !reflect.DeepEqual(got, []float64{0, 0.5, 2}) {
+		t.Errorf("ParseNonNegativeFloatList = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", " , ", "1,x", "0.5,-1"} {
+		if _, err := ParseNonNegativeFloatList(bad); err == nil {
+			t.Errorf("ParseNonNegativeFloatList(%q) accepted", bad)
+		}
+	}
+}

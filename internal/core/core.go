@@ -267,6 +267,9 @@ type Machine struct {
 	// nodePar bounds the parallel kernel's workers (see SetNodeParallelism);
 	// 0 means runtime.GOMAXPROCS(0), 1 forces the event-driven kernel.
 	nodePar int
+	// artifact, when non-nil, replaces rasterization with replay of a
+	// prebuilt raster artifact (see SetRasterArtifact).
+	artifact *RasterArtifact
 	// parallelFrames counts frames simulated by the parallel kernel, so
 	// tests can assert which kernel actually ran.
 	parallelFrames int
@@ -380,6 +383,11 @@ func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene)
 			}
 		}
 	}
+	if m.artifact != nil {
+		if err := m.checkArtifactFrames(frames); err != nil {
+			return nil, err
+		}
+	}
 	for _, e := range m.engines {
 		e.Reset()
 	}
@@ -389,8 +397,8 @@ func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene)
 	prev := make([]NodeResult, m.cfg.Procs)
 	frameStart := 0.0
 	var results []*Result
-	for _, f := range frames {
-		if err := m.runFrame(ctx, f); err != nil {
+	for fi, f := range frames {
+		if err := m.runFrame(ctx, fi, f); err != nil {
 			return nil, err
 		}
 		res := &Result{Config: m.cfg, Scene: f.Name}
@@ -427,11 +435,16 @@ func (m *Machine) RunSequenceContext(ctx context.Context, frames []*trace.Scene)
 // time, rare enough to stay invisible in profiles.
 const cancelCheckEvents = 1 << 14
 
-// runFrame simulates one frame's triangle stream, dispatching to the
+// runFrame simulates frame fi's triangle stream, dispatching to the
 // parallel kernel (parallel.go) when the triangle FIFOs provably never
 // back-pressure, and to the coupled event-driven kernel otherwise. Both
 // kernels produce byte-identical results; the event kernel is the reference.
-func (m *Machine) runFrame(ctx context.Context, f *trace.Scene) error {
+// With a raster artifact attached, the same dispatch replays the artifact's
+// frame instead of rasterizing (artifact.go), again byte-identically.
+func (m *Machine) runFrame(ctx context.Context, fi int, f *trace.Scene) error {
+	if m.artifact != nil {
+		return m.runFrameArtifact(ctx, m.artifact.Frames[fi])
+	}
 	if m.parallelEligible() {
 		ran, err := m.runFrameParallel(ctx, f)
 		if ran || err != nil {
@@ -439,6 +452,31 @@ func (m *Machine) runFrame(ctx context.Context, f *trace.Scene) error {
 		}
 	}
 	return m.runFrameEvents(ctx, f)
+}
+
+// runSim drives an event simulation to completion, polling ctx between
+// batches of cancelCheckEvents events; an uncancellable context runs the
+// tight loop.
+func runSim(ctx context.Context, s *sim.Simulator) error {
+	if ctx.Done() == nil {
+		s.Run()
+		return nil
+	}
+	for {
+		ran := false
+		for i := 0; i < cancelCheckEvents; i++ {
+			if !s.Step() {
+				break
+			}
+			ran = true
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !ran {
+			return nil
+		}
+	}
 }
 
 // runFrameEvents drives the event simulation of one frame's triangle stream.
@@ -455,24 +493,8 @@ func (m *Machine) runFrameEvents(ctx context.Context, f *trace.Scene) error {
 	for _, n := range nodes {
 		s.At(0, n.step)
 	}
-	if ctx.Done() == nil {
-		s.Run()
-	} else {
-		for {
-			ran := false
-			for i := 0; i < cancelCheckEvents; i++ {
-				if !s.Step() {
-					break
-				}
-				ran = true
-			}
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if !ran {
-				break
-			}
-		}
+	if err := runSim(ctx, s); err != nil {
+		return err
 	}
 	if !d.done || d.next != len(f.Triangles) {
 		panic(fmt.Sprintf("core: simulation deadlock: distributed %d of %d triangles",

@@ -1,0 +1,141 @@
+// The precomputed-replay path: ProcessTriangle's texel address generation —
+// the trilinear footprint per fragment, more than half of a simulation's
+// runtime — depends only on the triangle's texture mapping and owned
+// segments, never on the cache or bus configuration. A raster artifact
+// (internal/core) therefore captures each fragment's 8-address footprint
+// once, run-length encoded over consecutive identical footprints, and
+// ProcessPrecomputed replays it into any cache/bus configuration with
+// byte-identical timing and counters.
+//
+// Equivalence contract: for the same arrival and the same triangle,
+// ProcessPrecomputed performs the same floating-point operations in the same
+// order as ProcessTriangle — per-fragment scan increments, miss/stall
+// arithmetic and prefetch-ring updates are replicated verbatim. A run's
+// repeated fragments re-access a footprint the previous fragment just
+// touched; when the cache model guarantees such repeats hit without
+// disturbing replacement state (cache.Model.RepeatHits), the replay accounts
+// them in bulk and skips the lookups — the fast path that makes replay
+// several times cheaper than simulation. Models without the guarantee (the
+// cacheless model) replay every repeat as real accesses.
+package engine
+
+import (
+	"repro/internal/raster"
+	"repro/internal/texture"
+)
+
+// PrecomputedWork is one triangle's contribution to one node with the texel
+// address stream already generated: the replayable counterpart of
+// TriangleWork. Addrs holds one 8-address trilinear footprint per run and
+// Reps the run's fragment count; runs are in fragment scan order and may
+// cross segment boundaries.
+type PrecomputedWork struct {
+	// Segments are the owned pixel segments, identical to the TriangleWork
+	// the distributor would have built (the pure-scan path uses them).
+	Segments []raster.Span
+	// Addrs is the run-length-encoded footprint stream: 8 addresses per run.
+	Addrs []texture.Addr
+	// Reps holds each run's fragment count; len(Addrs) == 8*len(Reps) and
+	// the Reps sum to the fragment count of Segments.
+	Reps []int32
+}
+
+// Frags returns the total fragment count of the owned segments.
+func (w *PrecomputedWork) Frags() int {
+	n := 0
+	for _, sp := range w.Segments {
+		n += sp.Width()
+	}
+	return n
+}
+
+// ProcessPrecomputed runs one triangle whose footprints were precomputed
+// through the pipeline, beginning no earlier than arrival, and returns the
+// absolute completion time — ProcessTriangle with the address generation
+// replaced by the recorded stream. Byte-identical to ProcessTriangle for a
+// work item built from the same triangle on the same scene.
+func (e *Engine) ProcessPrecomputed(arrival float64, w *PrecomputedWork) float64 {
+	start := e.StartTriangle(arrival)
+	stall0 := e.stats.StallCycles
+	s := start
+	if e.pureScan {
+		for _, sp := range w.Segments {
+			n := sp.Width()
+			s += float64(n)
+			e.stats.Fragments += uint64(n)
+		}
+		return e.finishTriangle(start, stall0, s)
+	}
+	repeatFast := e.cache.RepeatHits()
+	for r := range w.Reps {
+		foot := w.Addrs[r*8 : r*8+8 : r*8+8]
+		reps := int(w.Reps[r])
+		if repeatFast {
+			s = e.scanFragment(start, s, foot)
+			if reps > 1 {
+				// The remaining fragments of the run re-access the footprint
+				// the fragment before them just touched: guaranteed hits that
+				// leave the cache state untouched, no misses, no stalls. Only
+				// the scan clock, the prefetch ring and the counters move.
+				e.cache.AddHits(uint64(reps-1) * 8)
+				for j := 1; j < reps; j++ {
+					s++
+					e.ring[e.ringPos] = s
+					e.ringPos++
+					if e.ringPos == len(e.ring) {
+						e.ringPos = 0
+					}
+				}
+				e.stats.Fragments += uint64(reps - 1)
+			}
+		} else {
+			for j := 0; j < reps; j++ {
+				s = e.scanFragment(start, s, foot)
+			}
+		}
+	}
+	return e.finishTriangle(start, stall0, s)
+}
+
+// scanFragment times one fragment with a known footprint: the per-fragment
+// access/miss/stall/ring body of ProcessTriangle, verbatim.
+func (e *Engine) scanFragment(start, s float64, foot []texture.Addr) float64 {
+	s++ // one scan cycle per fragment
+	misses, mainMisses := 0, 0
+	for _, a := range foot {
+		if !e.cache.Access(a) {
+			misses++
+			if e.l2 != nil && !e.l2.Access(a) {
+				mainMisses++
+			}
+		}
+	}
+	if misses > 0 {
+		issue := e.ring[e.ringPos]
+		if issue < start {
+			issue = start
+		}
+		ready := e.bus.Fetch(issue, misses)
+		if mainMisses > 0 {
+			if mainReady := e.mainBus.Fetch(issue, mainMisses); mainReady > ready {
+				ready = mainReady
+			}
+		}
+		if ready > s {
+			e.stats.StallCycles += ready - s
+			s = ready
+		}
+	}
+	e.ring[e.ringPos] = s
+	e.ringPos++
+	if e.ringPos == len(e.ring) {
+		e.ringPos = 0
+	}
+	e.stats.Fragments++
+	return s
+}
+
+// PureScan reports whether this engine is in the pure-scan regime (perfect
+// cache on an infinite bus), where texel addresses are never consulted and a
+// spans-only artifact suffices for replay.
+func (e *Engine) PureScan() bool { return e.pureScan }

@@ -494,7 +494,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		j.leaseNonce != comp.LeaseNonce {
 		s.mu.Unlock()
 		cl.CountStaleCompletion()
-		writeJSON(w, http.StatusConflict, map[string]any{"accepted": false})
+		writeAPIError(w, http.StatusConflict, "stale_completion", 0,
+			fmt.Errorf("no live lease matches completion for job %s", comp.JobID))
 		return
 	}
 	// Claim the lease under the lock: once the nonce is cleared, the lease

@@ -146,8 +146,52 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) // nothing useful to do with a write error mid-response
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// APIError is the uniform error body of every non-2xx JSON response on the
+// /api/v1 surface (and the cluster peer protocol): a stable machine-readable
+// code, a human-readable message, and — on back-pressure responses that also
+// carry a Retry-After header — the retry hint echoed as a field.
+type APIError struct {
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// defaultErrorCode maps an HTTP status to the envelope code used when the
+// handler has no more specific one.
+func defaultErrorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "job_gone"
+	default:
+		return "internal"
+	}
+}
+
+// writeAPIError writes the error envelope. A positive retryAfterSeconds also
+// sets the Retry-After header, so the header and the body hint never drift.
+func writeAPIError(w http.ResponseWriter, status int, code string, retryAfterSeconds int, err error) {
+	if retryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	writeJSON(w, status, map[string]APIError{"error": {
+		Code: code, Message: err.Error(), RetryAfterSeconds: retryAfterSeconds,
+	}})
+}
+
+// writeError is writeAPIError with the status-derived default code and no
+// retry hint.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeAPIError(w, status, defaultErrorCode(status), 0, err)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -165,12 +209,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
+			retry := 0
 			if se.code == http.StatusTooManyRequests ||
 				se.code == http.StatusServiceUnavailable {
 				// Back-pressure: tell well-behaved clients when to retry.
-				w.Header().Set("Retry-After", "1")
+				retry = 1
 			}
-			writeError(w, se.code, se.err)
+			writeAPIError(w, se.code, defaultErrorCode(se.code), retry, se.err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, err)
@@ -212,8 +257,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusGone, fmt.Errorf("job %s %s: %s", j.id, j.status, j.errMsg))
 	default:
 		// Not ready yet; point the client back at the status endpoint.
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s", j.id, j.status))
+		writeAPIError(w, http.StatusConflict, "not_ready", 1,
+			fmt.Errorf("job %s is %s", j.id, j.status))
 	}
 }
 

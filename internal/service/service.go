@@ -48,6 +48,10 @@ type Config struct {
 	// (0 = share the job's Parallelism budget, 1 = force the event-driven
 	// kernel; see sweep.RunOpts). Results are identical at every setting.
 	NodeParallelism int
+	// NoMemo disables the sweep planner's raster-artifact memoization for
+	// every sweep job (see sweep.RunOpts.NoMemo). Results are identical
+	// either way; this is an escape hatch for debugging.
+	NoMemo bool
 	// Cache, when nil, is replaced by an in-memory cache with default
 	// capacity.
 	Cache *resultcache.Cache
@@ -643,6 +647,7 @@ func (s *Server) execute(ctx context.Context, req *Request, ps sweep.ProgressSin
 		res, err := sweep.RunWith(ctx, *req.Sweep, sweep.RunOpts{
 			Parallelism:     s.cfg.Parallelism,
 			NodeParallelism: s.cfg.NodeParallelism,
+			NoMemo:          s.cfg.NoMemo,
 			Progress:        ps,
 		})
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"regexp"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -588,15 +589,33 @@ func TestBackpressureResponseShape(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 		t.Errorf("Content-Type = %q, want application/json", ct)
 	}
-	var body struct {
-		Error string `json:"error"`
+	body := decodeAPIError(t, resp.Body)
+	if body.Code != "queue_full" {
+		t.Errorf("429 code = %q, want queue_full", body.Code)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatalf("429 body is not JSON: %v", err)
-	}
-	if body.Error == "" {
+	if body.Message == "" {
 		t.Error("429 body has no error message")
 	}
+	if body.RetryAfterSeconds != 1 {
+		t.Errorf("429 retry_after_seconds = %d, want 1", body.RetryAfterSeconds)
+	}
+}
+
+// decodeAPIError decodes the uniform non-2xx envelope
+// {"error": {"code", "message", "retry_after_seconds?"}} and fails the test
+// on any other body shape.
+func decodeAPIError(t *testing.T, r io.Reader) APIError {
+	t.Helper()
+	var body struct {
+		Error *APIError `json:"error"`
+	}
+	if err := json.NewDecoder(r).Decode(&body); err != nil {
+		t.Fatalf("error body is not JSON: %v", err)
+	}
+	if body.Error == nil {
+		t.Fatal("error body lacks the envelope object")
+	}
+	return *body.Error
 }
 
 // TestDrainingResponseShape: a 503 while draining carries the same
@@ -632,17 +651,110 @@ func TestDrainingResponseShape(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != "1" {
 		t.Errorf("Retry-After = %q, want \"1\"", got)
 	}
-	var body struct {
-		Error string `json:"error"`
+	body := decodeAPIError(t, resp.Body)
+	if body.Code != "draining" {
+		t.Errorf("503 code = %q, want draining", body.Code)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		t.Fatalf("503 body is not JSON: %v", err)
-	}
-	if body.Error == "" {
+	if body.Message == "" {
 		t.Error("503 body has no error message")
+	}
+	if body.RetryAfterSeconds != 1 {
+		t.Errorf("503 retry_after_seconds = %d, want 1", body.RetryAfterSeconds)
 	}
 	close(release)
 	if err := <-drainErr; err != nil {
 		t.Fatalf("drain: %v", err)
 	}
+}
+
+// TestErrorEnvelopeShapes pins the envelope on the remaining non-2xx
+// routes: 404 (unknown job), 400 (malformed submit), 409 (result not
+// ready) and 410 (result of a canceled job).
+func TestErrorEnvelopeShapes(t *testing.T) {
+	release := make(chan struct{})
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 4,
+		runOverride: func(ctx context.Context, req *Request) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return []byte(`{}`), nil
+		},
+	})
+
+	check := func(resp *http.Response, status int, code string, retry int) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		body := decodeAPIError(t, resp.Body)
+		if body.Code != code {
+			t.Errorf("code = %q, want %q", body.Code, code)
+		}
+		if body.Message == "" {
+			t.Error("empty message")
+		}
+		if body.RetryAfterSeconds != retry {
+			t.Errorf("retry_after_seconds = %d, want %d", body.RetryAfterSeconds, retry)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusNotFound, "not_found", 0)
+
+	resp, err = http.Post(ts.URL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"type": 42}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusBadRequest, "bad_request", 0)
+
+	// A running job's result is not ready: 409 not_ready with a retry hint.
+	v, code := postJob(t, ts, tinySweep())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	waitStatus(t, ts, v.ID, StatusRunning)
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusConflict, "not_ready", 1)
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("409 Retry-After = %q, want \"1\"", got)
+	}
+
+	// Cancel it: the result is gone for good.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitStatus(t, ts, v.ID, StatusCanceled)
+	resp, err = http.Get(ts.URL + "/api/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(resp, http.StatusGone, "job_gone", 0)
 }

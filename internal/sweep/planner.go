@@ -1,0 +1,137 @@
+// The sweep planner: rasterization depends only on (scene, resolution,
+// distribution, processors, tile size), so sweep points that differ only in
+// cache geometry, bus bandwidth or buffer depth share their raster work. The
+// planner partitions a sweep's simulations — baselines included — into
+// raster-equivalence classes keyed by Spec.RasterClassKey, rasterizes once
+// per multi-member class into a core.RasterArtifact, and fans the artifact
+// out to every member simulation. Replay is byte-identical to rasterizing
+// (core's artifact contract), so memoization changes wall-clock only; the
+// RunOpts.NoMemo escape hatch exists for benchmarking and distrust, never
+// for correctness.
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/distrib"
+	"repro/internal/trace"
+)
+
+// PlanStats reports what the planner did with one sweep. texsweep prints
+// them as a stderr stat line and embeds them in -json output; they are NOT
+// part of RunWith's Result (plan shape depends on RunOpts.NoMemo, which is
+// outside the spec's cache identity, so cacheable result documents must not
+// carry it).
+type PlanStats struct {
+	// Points is the number of sweep points (rows).
+	Points int `json:"points"`
+	// Baselines is the number of one-processor speedup baselines (one per
+	// distinct cache/bus/buffer combination).
+	Baselines int `json:"baselines"`
+	// Classes is the number of raster-equivalence classes across points and
+	// baselines.
+	Classes int `json:"classes"`
+	// Rasterizations is how many times a frame was actually rasterized: one
+	// per memoized class, one per member everywhere else.
+	Rasterizations int `json:"rasterizations"`
+	// Saved is Points+Baselines-Rasterizations.
+	Saved int `json:"saved"`
+	// Memoized reports whether memoization was enabled for the run.
+	Memoized bool `json:"memoized"`
+}
+
+// classState is one raster-equivalence class: its identity, whether it is
+// worth memoizing, and the lazily built shared artifact. The mutex guards
+// build-once and the member refcount; members acquire before simulating and
+// release after, so the artifact is dropped as soon as its last member is
+// done.
+type classState struct {
+	procs, size int
+	// spansOnly is true when every member is a pure-scan machine (perfect
+	// cache, infinite bus), which never consults texel addresses — the
+	// artifact then skips footprint generation entirely.
+	spansOnly bool
+	// memoized is decided once membership is complete (seal): only classes
+	// with at least two members pay for an artifact.
+	memoized bool
+
+	mu        sync.Mutex
+	remaining int
+	built     bool
+	art       *core.RasterArtifact
+	err       error
+}
+
+// acquire returns the class artifact, building it on first use. Concurrent
+// members block until the build completes; a build failure is remembered and
+// returned to every member.
+func (cs *classState) acquire(ctx context.Context, sc *trace.Scene, dk distrib.Kind, workers int) (*core.RasterArtifact, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if !cs.built {
+		cs.art, cs.err = core.BuildRasterArtifact(ctx, []*trace.Scene{sc}, cs.procs, dk,
+			cs.size, core.ArtifactOpts{Workers: workers, SpansOnly: cs.spansOnly})
+		cs.built = true
+	}
+	return cs.art, cs.err
+}
+
+// release drops one member's reference; the last release frees the artifact.
+func (cs *classState) release() {
+	cs.mu.Lock()
+	cs.remaining--
+	if cs.remaining == 0 {
+		cs.art = nil
+	}
+	cs.mu.Unlock()
+}
+
+// plan is the class partition of one sweep. Classes are kept in first-seen
+// order so every derived output is deterministic.
+type plan struct {
+	byKey map[string]*classState
+	order []*classState
+	memo  bool
+	stats PlanStats
+}
+
+func newPlan(memo bool) *plan {
+	return &plan{byKey: make(map[string]*classState), memo: memo}
+}
+
+// add registers one simulation (a sweep point or a baseline) with the class
+// it belongs to and returns that class. ck and bus narrow the class's
+// spans-only eligibility: one member that consults addresses forces full
+// footprints for the whole class.
+func (p *plan) add(spec Spec, procs, size int, ck core.CacheKind, bus float64) *classState {
+	key := spec.RasterClassKey(procs, size)
+	cs := p.byKey[key]
+	if cs == nil {
+		cs = &classState{procs: procs, size: size, spansOnly: true}
+		p.byKey[key] = cs
+		p.order = append(p.order, cs)
+	}
+	cs.remaining++
+	if ck != core.CachePerfect || bus != 0 {
+		cs.spansOnly = false
+	}
+	return cs
+}
+
+// seal closes membership: decides which classes memoize and fills the
+// statistics. Must be called before any member simulates.
+func (p *plan) seal(points, baselines int) {
+	p.stats = PlanStats{Points: points, Baselines: baselines, Memoized: p.memo}
+	for _, cs := range p.order {
+		cs.memoized = p.memo && cs.remaining >= 2
+		p.stats.Classes++
+		if cs.memoized {
+			p.stats.Rasterizations++
+		} else {
+			p.stats.Rasterizations += cs.remaining
+		}
+	}
+	p.stats.Saved = points + baselines - p.stats.Rasterizations
+}

@@ -13,6 +13,7 @@ import (
 	"io"
 	"strconv"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/distrib"
 	"repro/internal/memory"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/resultcache"
 	"repro/internal/scene"
 	"repro/internal/telemetry/flight"
+	"repro/internal/texture"
 )
 
 // Spec describes one sweep: a scene plus the machine axes. The zero values
@@ -44,6 +46,16 @@ type Spec struct {
 	Cache string `json:"cache,omitempty"`
 	// Buffer is the triangle-buffer depth (0 = paper default).
 	Buffer int `json:"buffer,omitempty"`
+	// Caches sweeps the real-cache capacity axis: per-node cache sizes in
+	// KB, each with the paper's geometry (4-way, 64-byte lines). Requires
+	// the "real" cache model; empty means the single configured cache.
+	Caches []int `json:"caches,omitempty"`
+	// Buses sweeps the texture-bus bandwidth axis (texels per pixel-cycle,
+	// 0 = infinite). Mutually exclusive with Bus.
+	Buses []float64 `json:"buses,omitempty"`
+	// Buffers sweeps the triangle-buffer depth axis. Mutually exclusive
+	// with Buffer.
+	Buffers []int `json:"buffers,omitempty"`
 	// Flight enables the simulation flight recorder: every configuration's
 	// run is recorded as per-node setup/scan/stall/idle phase timelines and
 	// the Result gains one Flight entry (summary + Chrome trace-event JSON)
@@ -110,7 +122,40 @@ func (s Spec) Validate() error {
 	if s.FlightInterval > 0 && !s.Flight {
 		return fmt.Errorf("flight_interval set without flight")
 	}
+	if len(s.Caches) > 0 && s.Cache != "real" {
+		return fmt.Errorf("caches: cache-size axis requires the real cache model, not %q", s.Cache)
+	}
+	for _, kb := range s.Caches {
+		if kb <= 0 {
+			return fmt.Errorf("caches: %d KB must be positive", kb)
+		}
+		if err := cacheConfigKB(kb).Validate(); err != nil {
+			return fmt.Errorf("caches: %d KB: %w", kb, err)
+		}
+	}
+	if len(s.Buses) > 0 && s.Bus != 0 {
+		return fmt.Errorf("bus and buses are mutually exclusive")
+	}
+	for _, b := range s.Buses {
+		if b < 0 {
+			return fmt.Errorf("buses: %v must be non-negative", b)
+		}
+	}
+	if len(s.Buffers) > 0 && s.Buffer != 0 {
+		return fmt.Errorf("buffer and buffers are mutually exclusive")
+	}
+	for _, b := range s.Buffers {
+		if b <= 0 {
+			return fmt.Errorf("buffers: %d must be positive", b)
+		}
+	}
 	return nil
+}
+
+// cacheConfigKB is the paper's cache geometry at a swept capacity: kb KB,
+// 4-way, 64-byte lines.
+func cacheConfigKB(kb int) cache.Config {
+	return cache.Config{SizeBytes: kb * 1024, Ways: 4, LineBytes: texture.LineBytes}
 }
 
 func distKind(name string) (distrib.Kind, error) {
@@ -135,6 +180,58 @@ func (s Spec) RowHash(procs, size int) string {
 	p := s.WithDefaults()
 	p.Procs = []int{procs}
 	p.Sizes = []int{size}
+	key, err := resultcache.Key(p)
+	if err != nil {
+		return "" // unreachable for a Spec: plain struct, always encodable
+	}
+	return key
+}
+
+// rasterClassProjection is the raster-relevant slice of a Spec: the fields
+// that determine rasterization and span demultiplexing, and nothing else.
+// Cache, bus, buffer and flight settings deliberately do not appear — sweep
+// points differing only there share their raster work.
+type rasterClassProjection struct {
+	Scene string  `json:"scene"`
+	Scale float64 `json:"scale"`
+	Dist  string  `json:"dist"`
+	Procs int     `json:"procs"`
+	Size  int     `json:"size"`
+}
+
+// RasterClassKey is the raster-equivalence class of one (procs, size)
+// configuration point: the sub-hash of the config hash covering only the
+// raster-relevant fields (scene, resolution scale, distribution, processor
+// count, tile size). Two points with equal keys are guaranteed to produce
+// identical raster+demux output, so the sweep planner rasterizes each class
+// once and replays the artifact into every member.
+func (s Spec) RasterClassKey(procs, size int) string {
+	p := s.WithDefaults()
+	key, err := resultcache.Key(rasterClassProjection{
+		Scene: p.Scene, Scale: p.Scale, Dist: p.Dist, Procs: procs, Size: size,
+	})
+	if err != nil {
+		return "" // unreachable: plain struct, always encodable
+	}
+	return key
+}
+
+// pointHash is RowHash extended to the optional cache/bus/buffer axes: the
+// cache hash of the spec narrowed to one sweep point. For a spec without
+// those axes it equals RowHash(procs, size).
+func (s Spec) pointHash(pt point) string {
+	p := s.WithDefaults()
+	p.Procs = []int{pt.procs}
+	p.Sizes = []int{pt.size}
+	if len(p.Caches) > 0 {
+		p.Caches = []int{pt.cacheKB}
+	}
+	if len(p.Buses) > 0 {
+		p.Buses = []float64{pt.bus}
+	}
+	if len(p.Buffers) > 0 {
+		p.Buffers = []int{pt.buffer}
+	}
 	key, err := resultcache.Key(p)
 	if err != nil {
 		return "" // unreachable for a Spec: plain struct, always encodable
@@ -169,6 +266,13 @@ type Row struct {
 	StallCycles    float64 `json:"stall_cycles"`
 	// Frags is the total fragments (pixels) drawn across nodes.
 	Frags uint64 `json:"frags"`
+	// CacheKB, Bus and Buffer echo the row's position on the optional
+	// cache/bus/buffer axes. Zero — and absent from JSON and CSV — when the
+	// sweep does not use the corresponding axis, so rows of axis-free specs
+	// are byte-identical to what they were before the axes existed.
+	CacheKB int     `json:"cache_kb,omitempty"`
+	Bus     float64 `json:"bus,omitempty"`
+	Buffer  int     `json:"buffer,omitempty"`
 }
 
 // Flight is one configuration's flight recording: the per-node phase
@@ -193,6 +297,12 @@ type Result struct {
 	// configurations, the numerator of the service's cycles-per-wall-second
 	// throughput metric.
 	SimulatedCycles float64 `json:"simulated_cycles"`
+	// Plan, when set by the caller (texsweep -json does), echoes the
+	// planner statistics of the run that produced the result. RunWith never
+	// sets it: plan stats depend on RunOpts.NoMemo, which is outside the
+	// spec's cache identity, so cacheable result documents must not carry
+	// them.
+	Plan *PlanStats `json:"plan,omitempty"`
 }
 
 // RunOpts tunes how a sweep executes without changing what it computes:
@@ -214,6 +324,14 @@ type RunOpts struct {
 	// ProgressSink). Off costs one nil check per row; rows and results are
 	// byte-identical either way.
 	Progress ProgressSink
+	// NoMemo disables cross-configuration raster memoization: every
+	// simulation rasterizes from scratch, as sweeps always did before the
+	// planner. Rows are byte-identical either way (the planner's replay
+	// contract); the knob exists as an escape hatch and for benchmarking
+	// the planner itself.
+	NoMemo bool
+	// Plan, when non-nil, receives the planner's statistics for the run.
+	Plan *PlanStats
 }
 
 // ProgressSink observes a sweep's per-row lifecycle. Rows complete on
@@ -254,13 +372,30 @@ func (o RunOpts) nodeParallelism(nJobs int) int {
 }
 
 // Run executes the sweep on up to parallelism concurrent simulations
-// (<=0 = sequential). Row order is independent of parallelism; cancelling
-// ctx abandons unstarted configurations and returns ctx.Err().
+// (<=0 = sequential).
+//
+// Deprecated: Run is a thin compatibility wrapper. New code should call
+// RunWith, the single sweep runner, which exposes the full execution
+// options (worker budget sharing, progress, planner knobs) on RunOpts.
 func Run(ctx context.Context, spec Spec, parallelism int) (*Result, error) {
 	return RunWith(ctx, spec, RunOpts{Parallelism: parallelism})
 }
 
-// RunWith is Run with explicit execution options.
+// point is one sweep point: a (procs, size) configuration at one position
+// on the optional cache/bus/buffer axes. combo indexes the speedup baseline
+// it compares against.
+type point struct {
+	procs, size     int
+	cacheKB, buffer int
+	bus             float64
+	combo           int
+}
+
+// RunWith is the sweep runner: it expands the spec's axes into points,
+// partitions points and baselines into raster-equivalence classes (the
+// planner, planner.go), and simulates everything under one worker budget.
+// Row order is independent of parallelism and memoization; cancelling ctx
+// abandons unstarted configurations and returns ctx.Err().
 func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
@@ -278,63 +413,147 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 		return nil, err
 	}
 
-	mkConfig := func(procs, size int) core.Config {
-		return core.Config{
+	// Axis singletons: a scalar spec is a one-entry axis, so the axis-free
+	// sweep is the degenerate case of the same code path.
+	cachesAxis := spec.Caches
+	if len(cachesAxis) == 0 {
+		cachesAxis = []int{0}
+	}
+	busesAxis := spec.Buses
+	if len(busesAxis) == 0 {
+		busesAxis = []float64{spec.Bus}
+	}
+	buffersAxis := spec.Buffers
+	if len(buffersAxis) == 0 {
+		buffersAxis = []int{spec.Buffer}
+	}
+
+	// Baseline combos: the speedup column compares each row against the
+	// one-processor machine with every non-raster parameter identical, so
+	// each distinct (cache, bus, buffer) combination needs its own baseline.
+	type combo struct {
+		cacheKB, buffer int
+		bus             float64
+	}
+	var combos []combo
+	comboIdx := make(map[combo]int)
+	for _, kb := range cachesAxis {
+		for _, bus := range busesAxis {
+			for _, buf := range buffersAxis {
+				c := combo{cacheKB: kb, buffer: buf, bus: bus}
+				if _, ok := comboIdx[c]; !ok {
+					comboIdx[c] = len(combos)
+					combos = append(combos, c)
+				}
+			}
+		}
+	}
+
+	var points []point
+	for _, p := range spec.Procs {
+		for _, w := range spec.Sizes {
+			for _, kb := range cachesAxis {
+				for _, bus := range busesAxis {
+					for _, buf := range buffersAxis {
+						points = append(points, point{
+							procs: p, size: w, cacheKB: kb, bus: bus, buffer: buf,
+							combo: comboIdx[combo{cacheKB: kb, buffer: buf, bus: bus}],
+						})
+					}
+				}
+			}
+		}
+	}
+
+	mkConfig := func(procs, size int, c combo) core.Config {
+		cfg := core.Config{
 			Procs:          procs,
 			Distribution:   dk,
 			TileSize:       size,
 			CacheKind:      ck,
-			Bus:            memory.BusConfig{TexelsPerCycle: spec.Bus},
-			TriangleBuffer: spec.Buffer,
+			Bus:            memory.BusConfig{TexelsPerCycle: c.bus},
+			TriangleBuffer: c.buffer,
 		}
+		if c.cacheKB > 0 {
+			cfg.CacheConfig = cacheConfigKB(c.cacheKB)
+		}
+		return cfg
 	}
 
-	type job struct{ procs, size int }
-	var jobs []job
-	for _, p := range spec.Procs {
-		for _, w := range spec.Sizes {
-			jobs = append(jobs, job{p, w})
-		}
+	// Partition every simulation — baselines first, then points — into
+	// raster-equivalence classes. With one processor every tile maps to node
+	// 0, so one (1, Sizes[0]) class serves all baselines.
+	pl := newPlan(!opts.NoMemo)
+	baseClass := make([]*classState, len(combos))
+	for ci := range combos {
+		baseClass[ci] = pl.add(spec, 1, spec.Sizes[0], ck, combos[ci].bus)
 	}
-	nodePar := opts.nodeParallelism(len(jobs))
+	pointClass := make([]*classState, len(points))
+	for i, pt := range points {
+		pointClass[i] = pl.add(spec, pt.procs, pt.size, ck, pt.bus)
+	}
+	pl.seal(len(points), len(combos))
 
-	// One-processor baseline for the speedup column; with one processor
-	// every tile maps to node 0, so the tile size is irrelevant and one
-	// baseline serves all rows. Nothing else runs yet, so the baseline may
-	// use the whole worker budget.
-	baseM, err := core.NewMachine(sc, mkConfig(1, spec.Sizes[0]))
-	if err != nil {
-		return nil, err
-	}
-	if opts.Parallelism > 1 {
-		baseM.SetNodeParallelism(opts.Parallelism)
-	}
-	baseRes, err := baseM.RunContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Row, len(jobs))
-	var flights []Flight
-	if spec.Flight {
-		flights = make([]Flight, len(jobs))
-	}
-	err = par.ForEach(ctx, opts.Parallelism, len(jobs), func(i int) error {
-		var rowHash string
-		if opts.Progress != nil {
-			rowHash = spec.RowHash(jobs[i].procs, jobs[i].size)
-			opts.Progress.RowStarted(i, len(jobs), jobs[i].procs, jobs[i].size, rowHash)
-		}
-		cfg := mkConfig(jobs[i].procs, jobs[i].size)
+	// runOne simulates one configuration, replaying the class artifact when
+	// the planner memoized the class.
+	runOne := func(cfg core.Config, cs *classState, nodePar int, flightInterval float64, wantFlight bool) (*core.Result, *flight.Recorder, error) {
 		m, err := core.NewMachine(sc, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", cfg.Name(), err)
+			return nil, nil, err
 		}
 		m.SetNodeParallelism(nodePar)
+		if cs.memoized {
+			art, err := cs.acquire(ctx, sc, dk, nodePar)
+			if err != nil {
+				return nil, nil, err
+			}
+			defer cs.release()
+			if err := m.SetRasterArtifact(art); err != nil {
+				return nil, nil, err
+			}
+		}
 		var rec *flight.Recorder
-		if spec.Flight {
-			rec = m.EnableFlightRecorder(spec.FlightInterval)
+		if wantFlight {
+			rec = m.EnableFlightRecorder(flightInterval)
 		}
 		res, err := m.RunContext(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, rec, nil
+	}
+
+	// Baselines share the worker budget the same way points do: with one
+	// combo (the axis-free sweep) the single baseline gets the whole budget.
+	basePar := opts.nodeParallelism(len(combos))
+	baseRes := make([]*core.Result, len(combos))
+	err = par.ForEach(ctx, opts.Parallelism, len(combos), func(ci int) error {
+		res, _, err := runOne(mkConfig(1, spec.Sizes[0], combos[ci]), baseClass[ci], basePar, 0, false)
+		if err != nil {
+			return err
+		}
+		baseRes[ci] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nodePar := opts.nodeParallelism(len(points))
+	rows := make([]Row, len(points))
+	var flights []Flight
+	if spec.Flight {
+		flights = make([]Flight, len(points))
+	}
+	err = par.ForEach(ctx, opts.Parallelism, len(points), func(i int) error {
+		pt := points[i]
+		var rowHash string
+		if opts.Progress != nil {
+			rowHash = spec.pointHash(pt)
+			opts.Progress.RowStarted(i, len(points), pt.procs, pt.size, rowHash)
+		}
+		cfg := mkConfig(pt.procs, pt.size, combos[pt.combo])
+		res, rec, err := runOne(cfg, pointClass[i], nodePar, spec.FlightInterval, spec.Flight)
 		if err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name(), err)
 		}
@@ -343,7 +562,7 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 			if err != nil {
 				return fmt.Errorf("%s: rendering flight trace: %w", cfg.Name(), err)
 			}
-			flights[i] = Flight{Procs: jobs[i].procs, Size: jobs[i].size,
+			flights[i] = Flight{Procs: pt.procs, Size: pt.size,
 				Summary: rec.Summary(), Trace: tr}
 		}
 		var stall float64
@@ -353,22 +572,36 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 		rows[i] = Row{
 			Scene:          sc.Name,
 			Dist:           spec.Dist,
-			Procs:          jobs[i].procs,
-			Size:           jobs[i].size,
+			Procs:          pt.procs,
+			Size:           pt.size,
 			Cycles:         res.Cycles,
-			Speedup:        baseRes.Cycles / res.Cycles,
+			Speedup:        baseRes[pt.combo].Cycles / res.Cycles,
 			TexelPerFrag:   res.TexelToFragment(),
 			PixelImbalance: res.PixelImbalance(),
 			StallCycles:    stall,
 			Frags:          res.Fragments,
 		}
+		// Axis echo columns appear only when the axis itself is in use, so
+		// axis-free rows keep their historical bytes.
+		if len(spec.Caches) > 0 {
+			rows[i].CacheKB = pt.cacheKB
+		}
+		if len(spec.Buses) > 0 {
+			rows[i].Bus = pt.bus
+		}
+		if len(spec.Buffers) > 0 {
+			rows[i].Buffer = pt.buffer
+		}
 		if opts.Progress != nil {
-			opts.Progress.RowDone(i, len(jobs), rows[i], rowHash)
+			opts.Progress.RowDone(i, len(points), rows[i], rowHash)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if opts.Plan != nil {
+		*opts.Plan = pl.stats
 	}
 	out := &Result{Spec: spec, Rows: rows, Flights: flights}
 	for i := range rows {
@@ -377,15 +610,32 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 	return out, nil
 }
 
-// CSVHeader is the column order of WriteCSV, matching Row's fields.
+// CSVHeader is the column order of WriteCSV, matching Row's fields. Sweeps
+// using the cache/bus/buffer axes gain three trailing columns (cache_kb,
+// bus, buffer); axis-free sweeps keep exactly these.
 var CSVHeader = []string{"scene", "dist", "procs", "size", "cycles",
 	"speedup", "texel_per_frag", "pixel_imbalance", "stall_cycles", "frags"}
+
+// csvAxisColumns are the trailing columns added when any row carries axis
+// echo fields.
+var csvAxisColumns = []string{"cache_kb", "bus", "buffer"}
 
 // WriteCSV writes the rows as RFC-4180 CSV with a header line — the
 // texsweep output format.
 func WriteCSV(w io.Writer, rows []Row) error {
+	axes := false
+	for i := range rows {
+		if rows[i].CacheKB != 0 || rows[i].Bus != 0 || rows[i].Buffer != 0 {
+			axes = true
+			break
+		}
+	}
+	header := CSVHeader
+	if axes {
+		header = append(append([]string(nil), CSVHeader...), csvAxisColumns...)
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write(CSVHeader); err != nil {
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range rows {
@@ -398,6 +648,13 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			strconv.FormatFloat(r.PixelImbalance, 'f', 4, 64),
 			strconv.FormatFloat(r.StallCycles, 'f', 0, 64),
 			strconv.FormatUint(r.Frags, 10),
+		}
+		if axes {
+			rec = append(rec,
+				strconv.Itoa(r.CacheKB),
+				strconv.FormatFloat(r.Bus, 'f', -1, 64),
+				strconv.Itoa(r.Buffer),
+			)
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
