@@ -81,6 +81,11 @@ func main() {
 		samplePoints = flag.Int("sample-points", 0, "ring capacity per sampled series (0 = default 512)")
 		version      = flag.Bool("version", false, "print version information and exit")
 
+		checkpointDir = flag.String("checkpoint-dir", "", "durability directory: sweep row checkpoints and the job journal (empty = off)")
+		resume        = flag.Bool("resume", true, "replay the job journal on boot (requires -checkpoint-dir)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant admitted jobs per second (0 = unlimited)")
+		tenantBurst   = flag.Int("tenant-burst", 8, "per-tenant token-bucket burst size")
+
 		peers          = flag.String("peers", "", "comma-separated peer addresses (host:port or URL); empty = single-node")
 		self           = flag.String("self", "", "this node's address as peers reach it (required with -peers)")
 		healthInterval = flag.Duration("health-interval", 5*time.Second, "peer health probe period")
@@ -127,6 +132,12 @@ func main() {
 	}
 	if *samplePoints < 0 {
 		cliutil.Usage("texsimd", fmt.Sprintf("-sample-points %d must be non-negative", *samplePoints))
+	}
+	if *tenantRate < 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-tenant-rate %v must be non-negative", *tenantRate))
+	}
+	if *tenantBurst <= 0 {
+		cliutil.Usage("texsimd", fmt.Sprintf("-tenant-burst %d must be positive", *tenantBurst))
 	}
 
 	level, err := logging.ParseLevel(*logLevel)
@@ -179,6 +190,10 @@ func main() {
 		StealInterval:   *stealInterval,
 		SampleInterval:  *sampleEvery,
 		SamplePoints:    *samplePoints,
+		CheckpointDir:   *checkpointDir,
+		Resume:          *resume,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
 	})
 	cliutil.Check("texsimd", err)
 

@@ -23,6 +23,7 @@ import (
 	"syscall"
 
 	"repro/internal/cliutil"
+	"repro/internal/resultcache"
 	"repro/internal/sweep"
 	"repro/internal/telemetry/progress"
 )
@@ -34,6 +35,14 @@ func cacheMark(hit bool) string {
 	}
 	return ""
 }
+
+// writeOnlyRows wraps a checkpoint store so every read misses: rows are
+// persisted for a later -resume run without this run reading any back.
+type writeOnlyRows struct {
+	sweep.RowStore
+}
+
+func (writeOnlyRows) Get(string) ([]byte, bool) { return nil, false }
 
 func main() {
 	var (
@@ -56,6 +65,8 @@ func main() {
 		flightDir = flag.String("flight", "", "record per-node phase timelines and write one Chrome trace-event JSON file per configuration into this directory (load in Perfetto)")
 		flightInt = flag.Float64("flight-interval", 0, "flight recorder bucket width in cycles (0 = auto)")
 		progFlag  = flag.Bool("progress", false, "print each configuration's completion to stderr as the sweep runs")
+		ckptDir   = flag.String("checkpoint-dir", "", "persist each completed row here as it lands (a killed sweep can be resumed with -resume)")
+		resume    = flag.Bool("resume", false, "restore completed rows from -checkpoint-dir instead of re-simulating them")
 	)
 	flag.Parse()
 
@@ -88,6 +99,9 @@ func main() {
 	}
 	if set["buffers"] && set["buffer"] {
 		cliutil.Usage("texsweep", "-buffers and -buffer are mutually exclusive")
+	}
+	if *resume && *ckptDir == "" {
+		cliutil.Usage("texsweep", "-resume requires -checkpoint-dir")
 	}
 
 	spec := sweep.Spec{
@@ -136,6 +150,18 @@ func main() {
 		NoMemo:          *noMemo,
 		Plan:            &plan,
 	}
+	if *ckptDir != "" {
+		rc, err := resultcache.New(resultcache.Config{Dir: *ckptDir, MaxEntries: 4096})
+		cliutil.Check("texsweep", err)
+		var store sweep.RowStore = rc.Namespace("sweeprow")
+		if !*resume {
+			// Without -resume the checkpoint directory is write-only: rows
+			// still land for a later -resume run, but nothing previously
+			// checkpointed feeds this one.
+			store = writeOnlyRows{store}
+		}
+		opts.Rows = store
+	}
 
 	// -progress rides the same broker the texsimd SSE endpoint uses: the
 	// engine publishes once, and a local goroutine prints each row event to
@@ -176,8 +202,8 @@ func main() {
 
 	// One machine-parseable planner line per run: CI greps it to assert the
 	// memoized path really rasterized less.
-	fmt.Fprintf(os.Stderr, "texsweep: plan points=%d baselines=%d classes=%d rasterized=%d saved=%d memoized=%t\n",
-		plan.Points, plan.Baselines, plan.Classes, plan.Rasterizations, plan.Saved, plan.Memoized)
+	fmt.Fprintf(os.Stderr, "texsweep: plan points=%d baselines=%d classes=%d rasterized=%d saved=%d checkpointed=%d memoized=%t\n",
+		plan.Points, plan.Baselines, plan.Classes, plan.Rasterizations, plan.Saved, plan.Checkpointed, plan.Memoized)
 	if *asJSON {
 		res.Plan = &plan
 	}

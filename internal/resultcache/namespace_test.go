@@ -1,0 +1,69 @@
+package resultcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Two namespaces must keep equal logical keys apart, and a namespaced view
+// must round-trip through the shared tiers.
+func TestNamespaceIsolation(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Namespace("rows")
+	b := c.Namespace("other")
+
+	if err := a.Put("k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get("k"); ok {
+		t.Fatal("namespace other sees namespace rows entry")
+	}
+	got, ok := a.Get("k")
+	if !ok || !bytes.Equal(got, []byte(`{"v":1}`)) {
+		t.Fatalf("rows/k = %q, %v; want original bytes", got, ok)
+	}
+
+	// The raw key must not resolve either: the view rewrites keys.
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("raw key resolves a namespaced entry")
+	}
+}
+
+// The NUL separator prevents ("a", "bk") from aliasing ("ab", "k").
+func TestNamespaceNoPrefixAliasing(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Namespace("a").Put("bk", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Namespace("ab").Get("k"); ok {
+		t.Fatal(`("ab", "k") aliases ("a", "bk")`)
+	}
+}
+
+// A namespaced entry must survive the disk tier like a plain one: the
+// rewritten keys are ordinary 64-hex names.
+func TestNamespaceDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Namespace("rows").Put("k", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Namespace("rows").Get("k")
+	if !ok || !bytes.Equal(got, []byte(`{"v":2}`)) {
+		t.Fatalf("after reopen: rows/k = %q, %v; want original bytes", got, ok)
+	}
+}

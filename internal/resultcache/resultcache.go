@@ -238,6 +238,37 @@ func (c *Cache) insertLocked(key string, val []byte) {
 	}
 }
 
+// NS is a namespaced view of a Cache: every key is rewritten to
+// sha256(namespace NUL key) before reaching the underlying tiers, so
+// entries of different namespaces can share one cache (and one disk
+// directory) without colliding — even when their logical keys are equal.
+// The rewritten key is again 64 lowercase hex, so it satisfies every
+// consumer of the plain key shape (disk file naming, peer-protocol key
+// validation). The sweep engine's row checkpoints live in such a view.
+type NS struct {
+	c  *Cache
+	ns string
+}
+
+// Namespace returns a view of the cache whose keys live under ns. Views
+// share the underlying tiers (and their stats); the same (ns, key) pair
+// always maps to the same entry.
+func (c *Cache) Namespace(ns string) *NS { return &NS{c: c, ns: ns} }
+
+// key derives the namespaced cache key. The NUL separator prevents prefix
+// ambiguity between namespace and key: ("a", "b") and ("ab", "") hash
+// differently.
+func (n *NS) key(key string) string {
+	sum := sha256.Sum256([]byte(n.ns + "\x00" + key))
+	return hex.EncodeToString(sum[:])
+}
+
+// Get reads the namespaced entry; see Cache.Get.
+func (n *NS) Get(key string) ([]byte, bool) { return n.c.Get(n.key(key)) }
+
+// Put stores the namespaced entry; see Cache.Put.
+func (n *NS) Put(key string, val []byte) error { return n.c.Put(n.key(key), val) }
+
 // Disabled reports whether the cache is a no-op (Config.Disabled). Cluster
 // cache federation checks this so that -no-cache disables remote lookups
 // too — a disabled cache must force re-simulation, not a peer fetch.

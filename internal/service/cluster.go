@@ -272,41 +272,36 @@ func (s *Server) failover(j *job, addr string, cause error) {
 	s.runLocalFallback(j)
 }
 
-// runLocalFallback puts a supervised job back on the local queue, waiting
-// out a full queue. The job reaches a terminal state either through a
-// local worker or through cancellation.
+// runLocalFallback puts a supervised job back on the local queue. The push
+// is forced past the capacity bound — a supervised job must never be
+// dropped, and the overshoot is bounded by the number of outstanding
+// forwards. The job reaches a terminal state either through a local worker
+// or through cancellation.
 func (s *Server) runLocalFallback(j *job) {
-	for {
-		s.mu.Lock()
-		switch j.status {
-		case StatusDone, StatusFailed, StatusCanceled:
-			s.mu.Unlock()
-			return
-		}
-		if s.draining {
-			s.mu.Unlock()
-			s.finalizeRemote(j, nil, false, fmt.Errorf("executing peer lost while draining"))
-			return
-		}
-		j.status = StatusQueued
-		j.remoteAddr, j.remoteID = "", ""
-		select {
-		case s.queue <- j:
-			s.mu.Unlock()
-			s.mQueued.Set(float64(len(s.queue)))
-			s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job re-queued locally")
-			return
-		default:
-		}
-		j.status = StatusRunning // keep the record truthful while we wait
+	s.mu.Lock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCanceled:
 		s.mu.Unlock()
-		select {
-		case <-j.ctx.Done():
-			s.finalizeRemote(j, nil, false, fmt.Errorf("job canceled: %w", j.ctx.Err()))
-			return
-		case <-time.After(s.cfg.PollInterval):
-		}
+		return
 	}
+	if s.draining {
+		s.mu.Unlock()
+		s.finalizeRemote(j, nil, false, fmt.Errorf("executing peer lost while draining"))
+		return
+	}
+	j.status = StatusQueued
+	j.remoteAddr, j.remoteID = "", ""
+	_, closed := s.q.push(j, true)
+	if closed {
+		// Drain won the race between the draining check and the push.
+		j.status = StatusRunning
+		s.mu.Unlock()
+		s.finalizeRemote(j, nil, false, fmt.Errorf("executing peer lost while draining"))
+		return
+	}
+	s.enqueuedJob(j)
+	s.mu.Unlock()
+	s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job re-queued locally")
 }
 
 // finalizeRemote records the terminal state of a job that did not run
@@ -401,18 +396,12 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	var j *job
-	select {
-	case jj, ok := <-s.queue:
-		if ok {
-			j = jj
-		}
-	default:
-	}
+	j := s.q.steal()
 	if j == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	s.dequeuedJob(j)
 	s.mu.Lock()
 	if j.status != StatusQueued {
 		// Canceled while queued; its terminal state is already recorded.
@@ -427,7 +416,6 @@ func (s *Server) handleSteal(w http.ResponseWriter, r *http.Request) {
 	j.leaseNonce = cluster.NewNonce()
 	nonce := j.leaseNonce
 	s.mu.Unlock()
-	s.mQueued.Set(float64(len(s.queue)))
 	s.mQueueWait.With(j.req.Type).Observe(j.started.Sub(j.submitted).Seconds())
 	cl.CountStealGiven()
 	s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job stolen by peer",
@@ -534,7 +522,7 @@ func (s *Server) stealLoop() {
 		if draining {
 			return
 		}
-		if len(s.queue) > 0 || int(s.mRunning.Value()) >= s.cfg.Workers {
+		if s.q.len() > 0 || int(s.mRunning.Value()) >= s.cfg.Workers {
 			continue // not idle; local work first
 		}
 		s.stealOnce(s.baseCtx)
@@ -703,9 +691,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 	s.syncMirroredMetrics()
 	cl := s.cfg.Cluster
 	st := s.cache.Stats()
-	s.mu.Lock()
-	queued := len(s.queue)
-	s.mu.Unlock()
+	queued := s.q.len()
 	doc := map[string]any{
 		"enabled": cl != nil,
 		"cache": map[string]any{
@@ -719,7 +705,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 			"queued":  queued,
 			"running": int(s.mRunning.Value()),
 			"workers": s.cfg.Workers,
-			"depth":   cap(s.queue),
+			"depth":   s.q.depth(),
 		},
 	}
 	if cl != nil {

@@ -95,10 +95,18 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	})
 }
 
+// TenantHeader attributes a submission to a tenant for admission control,
+// fair scheduling and the per-tenant metrics. It overrides the request
+// body's tenant field, so a fronting proxy that injects tenant identity
+// cannot be fooled by the payload.
+const TenantHeader = "X-Tenant"
+
 // jobView is the wire shape of a job record.
 type jobView struct {
 	ID          string  `json:"id"`
 	Type        string  `json:"type"`
+	Tenant      string  `json:"tenant,omitempty"`
+	Class       string  `json:"class,omitempty"`
 	Status      Status  `json:"status"`
 	FromCache   bool    `json:"from_cache,omitempty"`
 	Error       string  `json:"error,omitempty"`
@@ -117,6 +125,8 @@ func viewOf(j *job) jobView {
 	v := jobView{
 		ID:          j.id,
 		Type:        j.req.Type,
+		Tenant:      j.tenant,
+		Class:       j.class.String(),
 		Status:      j.status,
 		FromCache:   j.fromCache,
 		Error:       j.errMsg,
@@ -202,20 +212,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	// The header wins over the body field: proxies injecting tenant
+	// identity must not be overridden by the payload.
+	if t := r.Header.Get(TenantHeader); t != "" {
+		req.Tenant = t
+	}
 	// A submission a peer already routed here must run here: re-forwarding
 	// it could loop. Plain client submissions are free to be routed.
 	routed := r.Header.Get(cluster.RoutedHeader) != ""
-	j, err := s.submit(r.Context(), &req, routed)
+	j, err := s.submit(r.Context(), &req, routed, false)
 	if err != nil {
 		var se *submitError
 		if errors.As(err, &se) {
-			retry := 0
-			if se.code == http.StatusTooManyRequests ||
-				se.code == http.StatusServiceUnavailable {
+			code := defaultErrorCode(se.code)
+			if se.apiCode != "" {
+				code = se.apiCode
+			}
+			retry := se.retryAfter
+			if retry == 0 && (se.code == http.StatusTooManyRequests ||
+				se.code == http.StatusServiceUnavailable) {
 				// Back-pressure: tell well-behaved clients when to retry.
 				retry = 1
 			}
-			writeAPIError(w, se.code, defaultErrorCode(se.code), retry, se.err)
+			writeAPIError(w, se.code, code, retry, se.err)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, err)

@@ -127,14 +127,11 @@ func (s *Server) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) localNodeMetrics() cluster.NodeMetrics {
 	s.syncMirroredMetrics()
 	st := s.cache.Stats()
-	s.mu.Lock()
-	queued := len(s.queue)
-	s.mu.Unlock()
 	nm := cluster.NodeMetrics{
-		Queued:          queued,
+		Queued:          s.q.len(),
 		Running:         int(s.mRunning.Value()),
 		Workers:         s.cfg.Workers,
-		QueueDepth:      cap(s.queue),
+		QueueDepth:      s.q.depth(),
 		CacheHits:       st.Hits,
 		CacheMisses:     st.Misses,
 		CacheRemoteHits: st.RemoteHits,

@@ -16,6 +16,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -99,6 +101,31 @@ type Config struct {
 	// (0 = stealing disabled; health checking and routing still work).
 	StealInterval time.Duration
 
+	// CheckpointDir, when non-empty, makes jobs durable: sweep rows
+	// checkpoint to a disk-backed row store under it (resumed sweeps
+	// re-simulate only missing rows), and accepted jobs journal under
+	// <CheckpointDir>/jobs so a restarted server can pick them back up.
+	CheckpointDir string
+	// Resume replays the job journal on boot (requires CheckpointDir):
+	// queued and running jobs of the previous process are resubmitted under
+	// fresh IDs. Row checkpoints are always honored regardless of Resume.
+	Resume bool
+
+	// TenantRate, when positive, enables per-tenant admission control:
+	// each tenant's submissions are limited to TenantRate jobs/second with
+	// bursts of TenantBurst. Refusals answer 429 with Retry-After.
+	TenantRate float64
+	// TenantBurst is the token-bucket burst size (0 = 8).
+	TenantBurst int
+	// TenantWeights sets per-tenant weighted-fair dequeue shares (unlisted
+	// tenants weigh 1). A weight-3 tenant dequeues three jobs per
+	// round-robin turn within its scheduling band.
+	TenantWeights map[string]int
+	// InteractiveMaxPoints is the largest sweep (in rows) still scheduled
+	// on the interactive band (0 = 4). Bigger sweeps are bulk: they never
+	// delay interactive jobs, which dequeue with strict priority.
+	InteractiveMaxPoints int
+
 	// runOverride replaces job execution in tests.
 	runOverride func(ctx context.Context, req *Request) ([]byte, error)
 }
@@ -112,6 +139,11 @@ type Request struct {
 	Sweep *sweep.Spec `json:"sweep,omitempty"`
 	// Experiment reproduces one paper table/figure by ID.
 	Experiment *ExperimentSpec `json:"experiment,omitempty"`
+	// Tenant attributes the job for admission control, fair scheduling and
+	// the texsimd_tenant_* metrics ("" = "default"). The X-Tenant request
+	// header overrides it. Deliberately excluded from the result-cache key:
+	// identical requests from different tenants share one cached result.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ExperimentSpec names a paper experiment.
@@ -125,6 +157,9 @@ type ExperimentSpec struct {
 // normalize defaults the request in place so that equivalent submissions
 // share one cache key, and validates it.
 func (r *Request) normalize() error {
+	if len(r.Tenant) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
 	switch r.Type {
 	case "sweep":
 		if r.Sweep == nil || r.Experiment != nil {
@@ -178,6 +213,8 @@ const (
 type job struct {
 	id        string
 	req       *Request
+	tenant    string          // normalized tenant (never empty)
+	class     jobClass        // scheduling band
 	key       string          // result-cache key
 	ctx       context.Context // cancelled by Cancel/Close; basis of the run context
 	status    Status
@@ -230,8 +267,15 @@ type Server struct {
 
 	wg sync.WaitGroup
 
+	// q is the worker queue: class-banded, weighted-fair across tenants.
+	// rows/journalDir/quota are the durability and admission-control
+	// plumbing, nil/empty unless configured.
+	q          *fairQueue
+	rows       sweep.RowStore
+	journalDir string
+	quota      *tenantQuotas
+
 	mu       sync.Mutex
-	queue    chan *job
 	jobs     map[string]*job
 	order    []string // submission order, for listing
 	seq      uint64
@@ -255,6 +299,10 @@ type Server struct {
 	mHTTPDur    *metrics.HistogramVec // by route
 	mProgStream *metrics.Gauge
 	mProgEvents *metrics.Counter
+
+	mTenantQueued   *metrics.GaugeVec   // by tenant
+	mTenantRunning  *metrics.GaugeVec   // by tenant
+	mTenantRejected *metrics.CounterVec // by tenant, reason
 }
 
 // New builds the server and starts its worker pool. ctx is the root of
@@ -303,6 +351,12 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.SamplePoints <= 0 {
 		cfg.SamplePoints = 512
 	}
+	if cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = 8
+	}
+	if cfg.InteractiveMaxPoints <= 0 {
+		cfg.InteractiveMaxPoints = 4
+	}
 	logger := cfg.Logger
 	if logger == nil && cfg.Logf != nil {
 		// Legacy bridge: render records as text lines into the Logf hook.
@@ -322,8 +376,30 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 		baseCancel: baseCancel,
 		progress:   cfg.Progress,
 		stop:       make(chan struct{}),
-		queue:      make(chan *job, cfg.QueueDepth),
+		q:          newFairQueue(cfg.QueueDepth, cfg.TenantWeights),
 		jobs:       make(map[string]*job),
+	}
+	if cfg.TenantRate > 0 {
+		s.quota = newTenantQuotas(cfg.TenantRate, cfg.TenantBurst)
+	}
+	if cfg.CheckpointDir != "" {
+		// Row checkpoints live in their own disk-backed cache (namespaced so
+		// keys cannot collide with anything else sharing the directory), and
+		// the job journal in a subdirectory beside them.
+		rc, err := resultcache.New(resultcache.Config{
+			Dir: cfg.CheckpointDir, MaxEntries: 4096,
+		})
+		if err != nil {
+			baseCancel()
+			return nil, err
+		}
+		s.rows = rc.Namespace("sweeprow")
+		dir := filepath.Join(cfg.CheckpointDir, "jobs")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			baseCancel()
+			return nil, fmt.Errorf("service: job journal: %w", err)
+		}
+		s.journalDir = dir
 	}
 	s.sampler = metrics.NewSampler(cfg.Metrics, cfg.SamplePoints)
 	r := s.reg
@@ -349,6 +425,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	// The broker's own count stays authoritative; syncMirroredMetrics
 	// raises this mirror before every scrape and sample.
 	s.mProgEvents = r.Counter("texsimd_progress_events_total", "Progress events published across all jobs.")
+	s.mTenantQueued = r.GaugeVec("texsimd_tenant_queued", "Jobs waiting in the queue, by tenant.", "tenant")
+	s.mTenantRunning = r.GaugeVec("texsimd_tenant_running", "Jobs currently simulating, by tenant.", "tenant")
+	s.mTenantRejected = r.CounterVec("texsimd_tenant_rejected_total", "Submissions rejected, by tenant and reason (queue_full or quota).", "tenant", "reason")
 	bi := buildinfo.Read()
 	r.GaugeVec("texsimd_build_info", "Build metadata carried as labels; the value is always 1.",
 		"version", "commit", "go").With(bi.Version, bi.Commit, bi.Go).Set(1)
@@ -364,6 +443,9 @@ func New(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Cluster != nil && cfg.StealInterval > 0 {
 		s.wg.Add(1)
 		go s.stealLoop()
+	}
+	if cfg.Resume && s.journalDir != "" {
+		s.recoverJournal()
 	}
 	return s, nil
 }
@@ -392,17 +474,31 @@ func (s *Server) Tracer() *tracing.Tracer { return s.tracer }
 // its result lands back), and a job that finds the local queue full spills
 // to any peer with capacity before the caller sees a 429.
 func (s *Server) Submit(ctx context.Context, req *Request) (*job, error) {
-	return s.submit(ctx, req, false)
+	return s.submit(ctx, req, false, false)
 }
 
-// submit is Submit with the routing decision exposed: routed submissions
-// (already forwarded once by a peer) always run locally, which is what
-// keeps forwarding loop-free.
-func (s *Server) submit(ctx context.Context, req *Request, routed bool) (*job, error) {
+// submit is Submit with the routing and admission decisions exposed: routed
+// submissions (already forwarded once by a peer) always run locally — which
+// keeps forwarding loop-free — and are quota-exempt, having been charged at
+// their ingress node. exempt additionally bypasses the tenant quota for
+// journal recovery, whose work was admitted by a previous process.
+func (s *Server) submit(ctx context.Context, req *Request, routed, exempt bool) (*job, error) {
 	if err := req.normalize(); err != nil {
 		return nil, &submitError{code: 400, err: err}
 	}
-	key, err := resultcache.Key(req)
+	tenant := tenantOrDefault(req.Tenant)
+	if s.quota != nil && !routed && !exempt {
+		if ok, retry := s.quota.allow(tenant, time.Now()); !ok {
+			s.mTenantRejected.With(tenant, "quota").Inc()
+			return nil, &submitError{code: 429, apiCode: "quota_exhausted", retryAfter: retry,
+				err: fmt.Errorf("tenant %q quota exhausted, retry in %ds", tenant, retry)}
+		}
+	}
+	// The cache key deliberately ignores the tenant: identical requests
+	// share one cached result whoever submits them.
+	keyReq := *req
+	keyReq.Tenant = ""
+	key, err := resultcache.Key(&keyReq)
 	if err != nil {
 		return nil, &submitError{code: 400, err: err}
 	}
@@ -425,13 +521,15 @@ func (s *Server) submit(ctx context.Context, req *Request, routed bool) (*job, e
 			}
 		}
 		s.mRejected.Inc()
-		return nil, &submitError{code: 429, err: fmt.Errorf("job queue full (%d queued)", cap(s.queue))}
+		s.mTenantRejected.With(tenant, "queue_full").Inc()
+		return nil, &submitError{code: 429, err: fmt.Errorf("job queue full (%d queued, capacity %d)", s.q.len(), s.q.depth())}
 	}
 
 	s.mSubmitted.With(req.Type).Inc()
-	s.mQueued.Set(float64(len(s.queue)))
+	s.journalAdd(j)
 	s.logger.LogAttrs(j.ctx, slog.LevelInfo, "job queued",
-		slog.String("type", req.Type), slog.String("cache_key", key[:12]))
+		slog.String("type", req.Type), slog.String("tenant", tenant),
+		slog.String("class", j.class.String()), slog.String("cache_key", key[:12]))
 	return j, nil
 }
 
@@ -453,6 +551,8 @@ func (s *Server) register(ctx context.Context, req *Request, key string, enqueue
 	j = &job{
 		id:        fmt.Sprintf("job-%06d", s.seq),
 		req:       req,
+		tenant:    tenantOrDefault(req.Tenant),
+		class:     classify(req, s.cfg.InteractiveMaxPoints),
 		key:       key,
 		status:    StatusQueued,
 		submitted: time.Now(),
@@ -475,16 +575,23 @@ func (s *Server) register(ctx context.Context, req *Request, key string, enqueue
 	}
 	j.ctx = logging.WithAttrs(jctx, attrs...)
 	if enqueue {
-		// The push happens under s.mu so it cannot race with Drain closing
-		// the queue; it is non-blocking, so the lock is never held for long.
-		select {
-		case s.queue <- j:
-		default:
+		// The push happens under s.mu so it cannot race with Drain flipping
+		// the draining flag; it is non-blocking, so the lock is never held
+		// for long. (A push after close is answered with closed=true rather
+		// than panicking, unlike the old channel queue.)
+		ok, closed := s.q.push(j, false)
+		if closed {
+			s.mu.Unlock()
+			cancel()
+			return nil, false, &submitError{code: 503, err: fmt.Errorf("service is draining")}
+		}
+		if !ok {
 			s.seq-- // unused ID
 			s.mu.Unlock()
 			cancel()
 			return nil, false, nil
 		}
+		s.enqueuedJob(j)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -492,20 +599,43 @@ func (s *Server) register(ctx context.Context, req *Request, key string, enqueue
 	return j, true, nil
 }
 
-// submitError couples a submit failure with its HTTP status code.
+// enqueuedJob/dequeuedJob maintain the queue-occupancy gauges as exact
+// counters: +1 on every successful queue push, -1 on every pop, wherever
+// either happens (submit, cluster fallback re-queue, worker, steal). The
+// old len(queue) sampling raced with concurrent submit+dequeue and drifted.
+func (s *Server) enqueuedJob(j *job) {
+	s.mQueued.Add(1)
+	s.mTenantQueued.With(j.tenant).Add(1)
+}
+
+func (s *Server) dequeuedJob(j *job) {
+	s.mQueued.Add(-1)
+	s.mTenantQueued.With(j.tenant).Add(-1)
+}
+
+// submitError couples a submit failure with its HTTP status code, plus an
+// optional API error code and Retry-After override for the error envelope
+// (zero values fall back to the code-derived defaults).
 type submitError struct {
-	code int
-	err  error
+	code       int
+	apiCode    string
+	retryAfter int
+	err        error
 }
 
 func (e *submitError) Error() string { return e.err.Error() }
 func (e *submitError) Unwrap() error { return e.err }
 
-// worker consumes jobs until the queue closes (Drain) or the base context
-// dies (Close).
+// worker consumes jobs until the queue closes (Drain/Close) and drains
+// empty.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.dequeuedJob(j)
 		s.runJob(j)
 	}
 }
@@ -515,14 +645,18 @@ func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	if j.status != StatusQueued { // canceled while queued
 		s.mu.Unlock()
+		s.journalRemove(j.id)
 		return
 	}
 	j.status = StatusRunning
 	j.started = time.Now()
 	s.mu.Unlock()
-	s.mQueued.Set(float64(len(s.queue)))
 	s.mRunning.Add(1)
-	defer s.mRunning.Add(-1)
+	s.mTenantRunning.With(j.tenant).Add(1)
+	defer func() {
+		s.mRunning.Add(-1)
+		s.mTenantRunning.With(j.tenant).Add(-1)
+	}()
 	s.mQueueWait.With(j.req.Type).Observe(j.started.Sub(j.submitted).Seconds())
 
 	// The run span joins the submitter's trace (stored on the job record at
@@ -603,6 +737,7 @@ func (s *Server) runJob(j *job) {
 	j.cancel()
 	s.mu.Unlock()
 
+	s.journalRemove(j.id)
 	s.progress.End(j.id, string(final), errMsg)
 	s.mCompleted.With(string(final)).Inc()
 	if err == nil && !fromCache && j.req.Type == "sweep" {
@@ -649,6 +784,7 @@ func (s *Server) execute(ctx context.Context, req *Request, ps sweep.ProgressSin
 			NodeParallelism: s.cfg.NodeParallelism,
 			NoMemo:          s.cfg.NoMemo,
 			Progress:        ps,
+			Rows:            s.rows,
 		})
 		if err != nil {
 			return nil, err
@@ -693,6 +829,7 @@ func (s *Server) Cancel(id string) (Status, bool) {
 	s.mu.Unlock()
 
 	if st == StatusQueued {
+		s.journalRemove(id)
 		s.mCompleted.With(string(StatusCanceled)).Inc()
 		s.progress.End(id, string(StatusCanceled), "canceled before start")
 		return StatusCanceled, true
@@ -714,7 +851,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return fmt.Errorf("service: already draining")
 	}
 	s.draining = true
-	close(s.queue)
+	s.q.close()
 	s.mu.Unlock()
 	// The sampler loop is part of s.wg but outlives jobs by design; on the
 	// clean path baseCtx never dies, so it needs its own stop signal before
@@ -746,7 +883,7 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.q.close()
 	}
 	s.mu.Unlock()
 	s.baseCancel()

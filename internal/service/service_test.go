@@ -593,8 +593,10 @@ func TestBackpressureResponseShape(t *testing.T) {
 	if body.Code != "queue_full" {
 		t.Errorf("429 code = %q, want queue_full", body.Code)
 	}
-	if body.Message == "" {
-		t.Error("429 body has no error message")
+	// The message reports occupancy AND capacity — it used to print the
+	// capacity as the queued count.
+	if want := "job queue full (1 queued, capacity 1)"; body.Message != want {
+		t.Errorf("429 message = %q, want %q", body.Message, want)
 	}
 	if body.RetryAfterSeconds != 1 {
 		t.Errorf("429 retry_after_seconds = %d, want 1", body.RetryAfterSeconds)

@@ -36,8 +36,13 @@ type PlanStats struct {
 	// Rasterizations is how many times a frame was actually rasterized: one
 	// per memoized class, one per member everywhere else.
 	Rasterizations int `json:"rasterizations"`
-	// Saved is Points+Baselines-Rasterizations.
+	// Saved is Points+Baselines-Rasterizations. Checkpoint-restored work
+	// counts toward it: a restored simulation is a rasterization avoided.
 	Saved int `json:"saved"`
+	// Checkpointed is how many simulations (rows plus speedup baselines)
+	// were restored from the checkpoint store (RunOpts.Rows) instead of
+	// running. Always 0 without a store.
+	Checkpointed int `json:"checkpointed"`
 	// Memoized reports whether memoization was enabled for the run.
 	Memoized bool `json:"memoized"`
 }

@@ -1,0 +1,229 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// memRows is an in-memory RowStore that counts hits and writes.
+type memRows struct {
+	mu   sync.Mutex
+	m    map[string][]byte
+	gets int
+	hits int
+	puts int
+}
+
+func newMemRows() *memRows { return &memRows{m: make(map[string][]byte)} }
+
+func (r *memRows) Get(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gets++
+	v, ok := r.m[key]
+	if ok {
+		r.hits++
+	}
+	return v, ok
+}
+
+func (r *memRows) Put(key string, val []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.puts++
+	r.m[key] = val
+	return nil
+}
+
+func marshalResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// A rerun against a populated checkpoint store must simulate nothing and
+// return a byte-identical result document.
+func TestResumeFullRestoreIsByteIdentical(t *testing.T) {
+	spec := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{1, 4}, Sizes: []int{8, 16}}
+	store := newMemRows()
+
+	first, err := RunWith(context.Background(), spec, RunOpts{Rows: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.puts == 0 {
+		t.Fatal("first run checkpointed nothing")
+	}
+
+	var plan PlanStats
+	second, err := RunWith(context.Background(), spec, RunOpts{Rows: store, Plan: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rasterizations != 0 {
+		t.Fatalf("second run rasterized %d times; want 0 (fully checkpointed)", plan.Rasterizations)
+	}
+	// All rows; the baseline is not even consulted — no surviving point
+	// needs its denominator.
+	if want := len(first.Rows); plan.Checkpointed != want {
+		t.Fatalf("Checkpointed = %d; want %d", plan.Checkpointed, want)
+	}
+	if a, b := marshalResult(t, first), marshalResult(t, second); !bytes.Equal(a, b) {
+		t.Fatalf("resumed result differs from original:\n%s\n%s", a, b)
+	}
+}
+
+// A partial checkpoint (a prior narrower sweep sharing points and the same
+// leading tile size) must restore the shared rows and simulate only the
+// rest — and still match an uncheckpointed run byte for byte.
+func TestResumePartialRestore(t *testing.T) {
+	full := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{1, 4}, Sizes: []int{8, 16}}
+	narrow := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{1}, Sizes: []int{8, 16}}
+	store := newMemRows()
+
+	if _, err := RunWith(context.Background(), narrow, RunOpts{Rows: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	clean, err := RunWith(context.Background(), full, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan PlanStats
+	resumed, err := RunWith(context.Background(), full, RunOpts{Rows: store, Plan: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The narrow sweep shares its 2 rows and the baseline with the full one.
+	if plan.Checkpointed != 3 {
+		t.Fatalf("Checkpointed = %d; want 3 (2 rows + baseline)", plan.Checkpointed)
+	}
+	if plan.Rasterizations >= len(clean.Rows) {
+		t.Fatalf("resumed run rasterized %d times; want fewer than %d rows", plan.Rasterizations, len(clean.Rows))
+	}
+	if a, b := marshalResult(t, clean), marshalResult(t, resumed); !bytes.Equal(a, b) {
+		t.Fatalf("resumed result differs from clean run:\n%s\n%s", a, b)
+	}
+}
+
+// Speedup divides by the (1 proc, Sizes[0]) baseline, so the same point in
+// sweeps leading with different tile sizes yields different row bytes. The
+// checkpoint key must keep those apart.
+func TestResumeKeyIncludesBaselineIdentity(t *testing.T) {
+	a := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{4}, Sizes: []int{8, 16}}
+	b := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{4}, Sizes: []int{16, 8}}
+	store := newMemRows()
+
+	if _, err := RunWith(context.Background(), a, RunOpts{Rows: store}); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunWith(context.Background(), b, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunWith(context.Background(), b, RunOpts{Rows: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, y := marshalResult(t, clean), marshalResult(t, resumed); !bytes.Equal(x, y) {
+		t.Fatalf("sweep with different leading size was poisoned by checkpoints:\n%s\n%s", x, y)
+	}
+}
+
+// resumeSink captures the progress callbacks, distinguishing restored
+// rows (RowCached) from simulated ones.
+type resumeSink struct {
+	mu      sync.Mutex
+	started []int
+	done    []int
+	cached  []int
+}
+
+func (s *resumeSink) RowStarted(index, total, procs, size int, configHash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.started = append(s.started, index)
+}
+
+func (s *resumeSink) RowDone(index, total int, row Row, configHash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = append(s.done, index)
+}
+
+func (s *resumeSink) RowCached(index, total int, row Row, configHash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cached = append(s.cached, index)
+}
+
+// Restored rows must reach the sink as RowCached, not as RowStarted/RowDone.
+func TestResumeReportsRowsCached(t *testing.T) {
+	spec := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{1, 4}, Sizes: []int{8}}
+	store := newMemRows()
+	if _, err := RunWith(context.Background(), spec, RunOpts{Rows: store}); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := &resumeSink{}
+	if _, err := RunWith(context.Background(), spec, RunOpts{Rows: store, Progress: sink}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.cached) != 2 {
+		t.Fatalf("RowCached fired %d times; want 2", len(sink.cached))
+	}
+	if len(sink.started) != 0 || len(sink.done) != 0 {
+		t.Fatalf("restored rows also fired RowStarted/RowDone (%d/%d); want none",
+			len(sink.started), len(sink.done))
+	}
+}
+
+// A flight sweep must ignore the store entirely: recordings are not
+// checkpointed, and a partial restore would desynchronize rows and flights.
+func TestResumeIgnoredForFlightSweeps(t *testing.T) {
+	spec := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{1}, Sizes: []int{8}, Flight: true}
+	store := newMemRows()
+	if _, err := RunWith(context.Background(), spec, RunOpts{Rows: store}); err != nil {
+		t.Fatal(err)
+	}
+	if store.gets != 0 || store.puts != 0 {
+		t.Fatalf("flight sweep touched the row store (gets=%d puts=%d); want untouched",
+			store.gets, store.puts)
+	}
+}
+
+// Corrupt checkpoint bytes must be ignored, not crash or poison the result.
+func TestResumeCorruptEntryResimulates(t *testing.T) {
+	spec := Spec{Scene: "truc640", Scale: 0.2, Procs: []int{1}, Sizes: []int{8}}
+	store := newMemRows()
+	if _, err := RunWith(context.Background(), spec, RunOpts{Rows: store}); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunWith(context.Background(), spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.mu.Lock()
+	for k := range store.m {
+		store.m[k] = []byte("not json")
+	}
+	store.mu.Unlock()
+
+	var plan PlanStats
+	res, err := RunWith(context.Background(), spec, RunOpts{Rows: store, Plan: &plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Checkpointed != 0 {
+		t.Fatalf("Checkpointed = %d with corrupt store; want 0", plan.Checkpointed)
+	}
+	if a, b := marshalResult(t, clean), marshalResult(t, res); !bytes.Equal(a, b) {
+		t.Fatalf("corrupt store changed the result:\n%s\n%s", a, b)
+	}
+}

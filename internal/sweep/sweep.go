@@ -239,6 +239,68 @@ func (s Spec) pointHash(pt point) string {
 	return key
 }
 
+// Points returns the number of sweep points the defaulted spec expands to
+// — the row count of its result. The service's admission control uses it
+// to tell small interactive sweeps from bulk ones.
+func (s Spec) Points() int {
+	s = s.WithDefaults()
+	n := len(s.Procs) * len(s.Sizes)
+	if len(s.Caches) > 0 {
+		n *= len(s.Caches)
+	}
+	if len(s.Buses) > 0 {
+		n *= len(s.Buses)
+	}
+	if len(s.Buffers) > 0 {
+		n *= len(s.Buffers)
+	}
+	return n
+}
+
+// rowCheckpointID is the identity a checkpointed row is stored under. The
+// point hash alone is not enough: the speedup column divides by the
+// (1-processor, Sizes[0]) baseline, so two sweeps sharing a point but
+// leading with different tile sizes would produce different row bytes.
+// Keying on (point, baseline) makes a checkpointed row interchangeable
+// exactly between sweeps where it is byte-identical.
+type rowCheckpointID struct {
+	Point    string `json:"point"`
+	Baseline string `json:"baseline"`
+}
+
+// baselinePoint is the baseline configuration a point's speedup compares
+// against: one processor, the sweep's leading tile size, the point's
+// cache/bus/buffer combination.
+func (s Spec) baselinePoint(pt point) point {
+	return point{procs: 1, size: s.WithDefaults().Sizes[0],
+		cacheKB: pt.cacheKB, bus: pt.bus, buffer: pt.buffer}
+}
+
+// rowCheckpointKey is the checkpoint-store key of one sweep point's row.
+func (s Spec) rowCheckpointKey(pt point) string {
+	key, err := resultcache.Key(rowCheckpointID{
+		Point:    s.pointHash(pt),
+		Baseline: s.pointHash(s.baselinePoint(pt)),
+	})
+	if err != nil {
+		return "" // unreachable: plain struct, always encodable
+	}
+	return key
+}
+
+// baselineCheckpointKey is the checkpoint-store key of one baseline's
+// cycles. The "baseline:" prefix keeps it apart from row keys (which are
+// bare hex).
+func (s Spec) baselineCheckpointKey(pt point) string {
+	return "baseline:" + s.pointHash(s.baselinePoint(pt))
+}
+
+// baselineCheckpoint is the persisted slice of a baseline simulation: only
+// its completion time participates in any row (the speedup denominator).
+type baselineCheckpoint struct {
+	Cycles float64 `json:"cycles"`
+}
+
 func cacheKind(name string) (core.CacheKind, error) {
 	switch name {
 	case "real":
@@ -332,6 +394,27 @@ type RunOpts struct {
 	NoMemo bool
 	// Plan, when non-nil, receives the planner's statistics for the run.
 	Plan *PlanStats
+	// Rows, when non-nil, is the row-level checkpoint store: every completed
+	// row (and speedup baseline) is persisted under its content key, and a
+	// later run of a sweep containing the same point restores the row
+	// instead of simulating it. Restored rows are byte-identical to
+	// simulated ones (rows round-trip exactly through JSON), so a resumed
+	// sweep's final output matches an uninterrupted run byte for byte.
+	// Checkpoint keys are opaque strings; pass a resultcache namespace view
+	// (Cache.Namespace) to keep them apart from full-result entries.
+	// Ignored when Spec.Flight is set — flight recordings are not
+	// checkpointed, and a partial restore would break the rows/flights
+	// parallelism.
+	Rows RowStore
+}
+
+// RowStore persists per-row sweep checkpoints. Both methods must be safe
+// for concurrent use (rows complete on parallel workers); Put failures are
+// an availability loss, never a sweep failure. *resultcache.Cache and its
+// namespace views satisfy the interface.
+type RowStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte) error
 }
 
 // ProgressSink observes a sweep's per-row lifecycle. Rows complete on
@@ -343,6 +426,15 @@ type ProgressSink interface {
 	RowStarted(index, total, procs, size int, configHash string)
 	// RowDone fires when the row's results are final.
 	RowDone(index, total int, row Row, configHash string)
+}
+
+// RowCachedSink is optionally implemented by a ProgressSink to distinguish
+// rows restored from a checkpoint store (RunOpts.Rows) from freshly
+// simulated ones. A sink without it sees the restored rows as an
+// instantaneous RowStarted/RowDone pair instead. Restored rows are
+// reported in index order before any simulation starts.
+type RowCachedSink interface {
+	RowCached(index, total int, row Row, configHash string)
 }
 
 // nodeParallelism resolves the per-machine worker bound for a sweep of
@@ -480,19 +572,102 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 		return cfg
 	}
 
-	// Partition every simulation — baselines first, then points — into
-	// raster-equivalence classes. With one processor every tile maps to node
-	// 0, so one (1, Sizes[0]) class serves all baselines.
+	// Row-level checkpoint restore. Before anything simulates (or even
+	// enters the planner's class partition), every point and baseline is
+	// looked up in the checkpoint store; restored work is excluded from the
+	// partition so classes are sized — and memoization decided — by what
+	// actually still runs. Rows round-trip exactly through JSON (Go floats
+	// encode shortest-round-trip), so a resumed sweep's output is
+	// byte-identical to an uninterrupted run. Flight sweeps never
+	// checkpoint: recordings are not persisted, and a partially restored
+	// flights slice would desynchronize from the rows.
+	useRows := opts.Rows != nil && !spec.Flight
+	rows := make([]Row, len(points))
+	done := make([]bool, len(points))
+	checkpointed := 0
+	if useRows {
+		for i, pt := range points {
+			data, ok := opts.Rows.Get(spec.rowCheckpointKey(pt))
+			if !ok {
+				continue
+			}
+			var r Row
+			if json.Unmarshal(data, &r) != nil || r.Procs != pt.procs || r.Size != pt.size {
+				continue // corrupt or stale entry: re-simulate
+			}
+			rows[i] = r
+			done[i] = true
+			checkpointed++
+		}
+	}
+
+	// A baseline only runs when some surviving point still divides by it,
+	// and even then its cycles may be checkpointed from an earlier run.
+	needBase := make([]bool, len(combos))
+	for i, pt := range points {
+		if !done[i] {
+			needBase[pt.combo] = true
+		}
+	}
+	baseCycles := make([]float64, len(combos))
+	haveBase := make([]bool, len(combos))
+	comboPoint := func(ci int) point {
+		return point{cacheKB: combos[ci].cacheKB, bus: combos[ci].bus, buffer: combos[ci].buffer}
+	}
+	if useRows {
+		for ci := range combos {
+			if !needBase[ci] {
+				continue
+			}
+			data, ok := opts.Rows.Get(spec.baselineCheckpointKey(comboPoint(ci)))
+			if !ok {
+				continue
+			}
+			var bc baselineCheckpoint
+			if json.Unmarshal(data, &bc) == nil && bc.Cycles > 0 {
+				baseCycles[ci] = bc.Cycles
+				haveBase[ci] = true
+				checkpointed++
+			}
+		}
+	}
+
+	// Partition every surviving simulation — baselines first, then points —
+	// into raster-equivalence classes. With one processor every tile maps to
+	// node 0, so one (1, Sizes[0]) class serves all baselines.
 	pl := newPlan(!opts.NoMemo)
 	baseClass := make([]*classState, len(combos))
 	for ci := range combos {
-		baseClass[ci] = pl.add(spec, 1, spec.Sizes[0], ck, combos[ci].bus)
+		if needBase[ci] && !haveBase[ci] {
+			baseClass[ci] = pl.add(spec, 1, spec.Sizes[0], ck, combos[ci].bus)
+		}
 	}
 	pointClass := make([]*classState, len(points))
 	for i, pt := range points {
-		pointClass[i] = pl.add(spec, pt.procs, pt.size, ck, pt.bus)
+		if !done[i] {
+			pointClass[i] = pl.add(spec, pt.procs, pt.size, ck, pt.bus)
+		}
 	}
 	pl.seal(len(points), len(combos))
+	pl.stats.Checkpointed = checkpointed
+
+	// Restored rows replay into the progress stream in index order before
+	// any simulation starts, so a resumed job's consumers see the completed
+	// prefix immediately (marked as cache hits by sinks that distinguish).
+	if opts.Progress != nil {
+		for i, pt := range points {
+			if !done[i] {
+				continue
+			}
+			hash := spec.pointHash(pt)
+			if cs, ok := opts.Progress.(RowCachedSink); ok {
+				cs.RowCached(i, len(points), rows[i], hash)
+			} else {
+				opts.Progress.RowStarted(i, len(points), pt.procs, pt.size, hash)
+				opts.Progress.RowDone(i, len(points), rows[i], hash)
+			}
+		}
+	}
 
 	// runOne simulates one configuration, replaying the class artifact when
 	// the planner memoized the class.
@@ -525,14 +700,25 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 
 	// Baselines share the worker budget the same way points do: with one
 	// combo (the axis-free sweep) the single baseline gets the whole budget.
+	// Checkpointed or unneeded baselines are skipped (baseCycles already
+	// holds their denominator, or no surviving row divides by them).
 	basePar := opts.nodeParallelism(len(combos))
-	baseRes := make([]*core.Result, len(combos))
 	err = par.ForEach(ctx, opts.Parallelism, len(combos), func(ci int) error {
+		if !needBase[ci] || haveBase[ci] {
+			return nil
+		}
 		res, _, err := runOne(mkConfig(1, spec.Sizes[0], combos[ci]), baseClass[ci], basePar, 0, false)
 		if err != nil {
 			return err
 		}
-		baseRes[ci] = res
+		baseCycles[ci] = res.Cycles
+		if useRows {
+			if data, err := json.Marshal(baselineCheckpoint{Cycles: res.Cycles}); err == nil {
+				// Best effort: a failed checkpoint write costs a future
+				// resume nothing but this baseline's re-simulation.
+				_ = opts.Rows.Put(spec.baselineCheckpointKey(comboPoint(ci)), data)
+			}
+		}
 		return nil
 	})
 	if err != nil {
@@ -540,12 +726,14 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 	}
 
 	nodePar := opts.nodeParallelism(len(points))
-	rows := make([]Row, len(points))
 	var flights []Flight
 	if spec.Flight {
 		flights = make([]Flight, len(points))
 	}
 	err = par.ForEach(ctx, opts.Parallelism, len(points), func(i int) error {
+		if done[i] {
+			return nil // restored from checkpoint; already replayed to Progress
+		}
 		pt := points[i]
 		var rowHash string
 		if opts.Progress != nil {
@@ -575,7 +763,7 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 			Procs:          pt.procs,
 			Size:           pt.size,
 			Cycles:         res.Cycles,
-			Speedup:        baseRes[pt.combo].Cycles / res.Cycles,
+			Speedup:        baseCycles[pt.combo] / res.Cycles,
 			TexelPerFrag:   res.TexelToFragment(),
 			PixelImbalance: res.PixelImbalance(),
 			StallCycles:    stall,
@@ -591,6 +779,12 @@ func RunWith(ctx context.Context, spec Spec, opts RunOpts) (*Result, error) {
 		}
 		if len(spec.Buffers) > 0 {
 			rows[i].Buffer = pt.buffer
+		}
+		if useRows {
+			if data, err := json.Marshal(rows[i]); err == nil {
+				// Best effort, like the baseline checkpoint above.
+				_ = opts.Rows.Put(spec.rowCheckpointKey(pt), data)
+			}
 		}
 		if opts.Progress != nil {
 			opts.Progress.RowDone(i, len(points), rows[i], rowHash)

@@ -277,6 +277,23 @@ func (s *Sink) RowDone(index, total int, row sweep.Row, configHash string) {
 	})
 }
 
+// RowCached implements sweep.RowCachedSink: rows restored from a sweep
+// checkpoint store publish as completed rows flagged CacheHit, with no wall
+// time — nothing simulated.
+func (s *Sink) RowCached(index, total int, row sweep.Row, configHash string) {
+	s.b.Publish(s.jobID, Event{
+		Type:       "row",
+		Row:        index,
+		Total:      total,
+		ConfigHash: configHash,
+		Procs:      row.Procs,
+		Size:       row.Size,
+		Cycles:     row.Cycles,
+		Frags:      row.Frags,
+		CacheHit:   true,
+	})
+}
+
 // ReplaySweep publishes one completion event per row of an
 // already-computed sweep result document — the path for results served
 // from the cache or computed on another node, where the rows exist but

@@ -1,0 +1,296 @@
+package repro
+
+// End-to-end durability test: SIGKILL a texsimd mid-sweep, restart it on
+// the same checkpoint directory, and verify the journal replays the job,
+// the sweep completes from row checkpoints with strictly fewer rows
+// re-simulated, and the final CSV is byte-identical to a clean in-process
+// run of the same spec.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// resumeSpec is big enough (~140ms/row, 24 rows) that the kill lands
+// mid-flight, and uses the real cache so rows carry non-trivial float
+// columns whose byte-identity actually exercises the JSON round trip.
+var resumeSpec = sweep.Spec{
+	Scene: "truc640", Scale: 0.4,
+	Procs: []int{1, 2, 4, 8, 16, 32},
+	Sizes: []int{4, 8, 16, 32},
+	Cache: "real",
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startTexsimd launches the daemon and waits for /healthz.
+func startTexsimd(t *testing.T, bin, addr, ckptDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-workers", "1",
+		"-job-par", "1",
+		"-checkpoint-dir", ckptDir,
+		"-log-format", "text", "-log-level", "warn",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatalf("texsimd on %s never became healthy", addr)
+	return nil
+}
+
+// checkpointFiles counts row/baseline checkpoint entries: top-level .json
+// files in the checkpoint dir, excluding the jobs/ journal subdirectory.
+func checkpointFiles(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRestartResumeAfterSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-spawning e2e test; skipped in -short")
+	}
+
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "texsimd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/texsimd").CombinedOutput(); err != nil {
+		t.Fatalf("building texsimd: %v\n%s", err, out)
+	}
+	ckpt := filepath.Join(tmp, "ckpt")
+	addr := freePort(t)
+	base := "http://" + addr
+
+	// First life: accept the sweep, checkpoint rows as they finish.
+	first := startTexsimd(t, bin, addr, ckpt)
+	body, err := json.Marshal(map[string]any{"type": "sweep", "sweep": resumeSpec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		first.Process.Kill()
+		t.Fatal(err)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		first.Process.Kill()
+		t.Fatalf("submit returned %d", resp.StatusCode)
+	}
+
+	// Wait until well past half the work is durably checkpointed (24 rows
+	// plus 1 speedup baseline = 25 entries), then kill -9: no drain, no
+	// defers, no journal cleanup.
+	totalRows := resumeSpec.Points()
+	killAt := totalRows/2 + 2 // ≥50% of rows even if one entry is the baseline
+	waitDeadline := time.Now().Add(2 * time.Minute)
+	for checkpointFiles(t, ckpt) < killAt {
+		if time.Now().After(waitDeadline) {
+			first.Process.Kill()
+			t.Fatalf("only %d checkpoint files after 2m, want %d", checkpointFiles(t, ckpt), killAt)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := first.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	first.Wait()
+	banked := checkpointFiles(t, ckpt)
+	if banked >= totalRows+1 {
+		t.Fatalf("sweep finished (%d checkpoint entries) before the kill; spec too small", banked)
+	}
+	if entries, err := os.ReadDir(filepath.Join(ckpt, "jobs")); err != nil || len(entries) != 1 {
+		t.Fatalf("journal entries after kill = %v, %v; want exactly 1", len(entries), err)
+	}
+
+	// Second life: the journal replays the job under a fresh ID and the
+	// sweep completes from the banked rows.
+	second := startTexsimd(t, bin, addr, ckpt)
+	defer func() {
+		second.Process.Kill()
+		second.Wait()
+	}()
+
+	var done struct {
+		ID        string `json:"id"`
+		ResultURL string `json:"result_url"`
+	}
+	finishDeadline := time.Now().Add(2 * time.Minute)
+	for {
+		if time.Now().After(finishDeadline) {
+			t.Fatal("recovered job did not finish within 2m")
+		}
+		resp, err := http.Get(base + "/api/v1/jobs")
+		if err != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var list struct {
+			Jobs []struct {
+				ID        string `json:"id"`
+				Status    string `json:"status"`
+				Error     string `json:"error"`
+				ResultURL string `json:"result_url"`
+			} `json:"jobs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Jobs) == 0 {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		j := list.Jobs[0]
+		if j.Status == "failed" || j.Status == "canceled" {
+			t.Fatalf("recovered job %s ended %s: %s", j.ID, j.Status, j.Error)
+		}
+		if j.Status == "done" {
+			done.ID, done.ResultURL = j.ID, j.ResultURL
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The resumed result must be byte-identical to a clean run.
+	resp, err = http.Get(base + done.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sweep.Result
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.RunWith(context.Background(), resumeSpec, sweep.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCSV, wantCSV bytes.Buffer
+	if err := sweep.WriteCSV(&gotCSV, got.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteCSV(&wantCSV, want.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+		t.Fatalf("resumed CSV differs from clean run:\n--- resumed ---\n%s--- clean ---\n%s",
+			gotCSV.String(), wantCSV.String())
+	}
+
+	// Strictly fewer rows re-simulated: the progress stream (replayed from
+	// seq 0) marks restored rows cache_hit. At least killAt-1 rows were
+	// banked, so at most totalRows-(killAt-1) were simulated again.
+	restored, simulated := countRowEvents(t, base, done.ID)
+	if restored+simulated != totalRows {
+		t.Fatalf("progress stream carried %d+%d row events, want %d", restored, simulated, totalRows)
+	}
+	if restored < killAt-1 {
+		t.Errorf("only %d rows restored from checkpoints, want >= %d", restored, killAt-1)
+	}
+	if simulated >= totalRows {
+		t.Errorf("second life simulated all %d rows; resume did nothing", simulated)
+	}
+	t.Logf("banked=%d checkpoint entries, restored=%d rows, re-simulated=%d of %d",
+		banked, restored, simulated, totalRows)
+}
+
+// countRowEvents reads the job's SSE stream from seq 0 until the terminal
+// event and splits row events into restored (cache_hit) vs simulated.
+func countRowEvents(t *testing.T, base, id string) (restored, simulated int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/api/v1/jobs/%s/events", base, id), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev struct {
+			Type     string `json:"type"`
+			CacheHit bool   `json:"cache_hit"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Type != "row" {
+			return restored, simulated
+		}
+		if ev.CacheHit {
+			restored++
+		} else {
+			simulated++
+		}
+	}
+	t.Fatalf("SSE stream ended without a terminal event: %v", sc.Err())
+	return 0, 0
+}
